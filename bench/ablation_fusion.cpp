@@ -1,0 +1,80 @@
+// Ablation (extension; Section VI): framework operator fusion.
+//
+// NN-Meter's observation, reproduced on our substrate: when the inference
+// framework fuses Conv/MatMul with their BiasAdd/BatchNorm/activation
+// epilogues, (a) the server executes far fewer kernels, and (b) summing
+// single-layer predictions layer-by-layer overpredicts — a fusion-aware
+// predictor (one anchor prediction per fused group) stays accurate.
+#include <cmath>
+#include <cstdio>
+
+#include "common/table.h"
+#include "core/predictor.h"
+#include "graph/fusion.h"
+#include "hw/gpu_model.h"
+#include "models/zoo.h"
+
+int main() {
+  using namespace lp;
+
+  const auto bundle = core::train_default_predictors();
+  const hw::GpuModel gpu;
+
+  std::printf(
+      "Operator fusion ablation (server side, idle GPU)\n\n"
+      "Execution: one kernel per fusion group instead of per node.\n");
+  Table exec_table({"model", "nodes", "fused kernels", "unfused(ms)",
+                    "fused(ms)", "speedup"});
+  for (const auto& name : models::zoo_names()) {
+    const auto g = models::make_model(name);
+    const auto groups = graph::fuse_groups(g);
+    const double unfused =
+        to_seconds(gpu.segment_time(g, 0, g.backbone().size() - 1));
+    const double fused =
+        to_seconds(gpu.fused_segment_time(g, 0, g.backbone().size() - 1));
+    exec_table.add_row({name, std::to_string(g.n()),
+                        std::to_string(groups.size()),
+                        Table::num(unfused * 1e3),
+                        Table::num(fused * 1e3),
+                        Table::num(unfused / fused, 2) + "x"});
+  }
+  exec_table.print();
+
+  std::printf(
+      "\nPrediction on a fusing framework: layer-by-layer summing vs "
+      "fusion-aware (anchor-only) prediction, kernel time only.\n");
+  Table pred_table({"model", "truth(ms)", "sum-of-layers(ms)", "err",
+                    "fusion-aware(ms)", "err"});
+  for (const auto& name : models::zoo_names()) {
+    const auto g = models::make_model(name);
+    const std::size_t n = g.n();
+    const auto groups = graph::fuse_groups(g);
+    const double truth =
+        to_seconds(gpu.fused_segment_time(g, 0, n)) -
+        gpu.params().framework_dispatch_sec *
+            static_cast<double>(groups.size());
+    double naive = 0.0;
+    for (std::size_t i = 1; i <= n; ++i)
+      naive +=
+          bundle.edge.predict_seconds(flops::config_of(g, g.backbone()[i]));
+    const double fused = core::fused_edge_prediction(g, bundle.edge, 1, n);
+    auto err = [&](double v) {
+      return Table::num(std::abs(v - truth) / truth * 100.0, 1) + "%";
+    };
+    pred_table.add_row({name, Table::num(truth * 1e3, 2),
+                        Table::num(naive * 1e3, 2), err(naive),
+                        Table::num(fused * 1e3, 2), err(fused)});
+  }
+  pred_table.print();
+  std::printf(
+      "\nReading: fusion cuts the executed kernel count roughly in half "
+      "(speedup ~1.6-2.3x, mostly dispatch savings). On prediction, "
+      "summing every layer over-counts the fused epilogues — the error "
+      "NN-Meter flags — and anchor-only prediction removes it where "
+      "element-wise epilogues dominate (VGG16, Xception). Where the "
+      "per-anchor conv error dominates (ResNets), neither estimator is "
+      "accurate without fused-layer *profiling*, which is exactly the "
+      "extension the paper sketches in Section VI: detect fused layers, "
+      "then train LR models for them with the same three-step procedure.\n");
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Shared helper: dump an experiment's per-inference series as CSV when
+// LP_CSV_DIR is set (for external plotting of the time-series figures).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/csv.h"
+#include "common/table.h"
+#include "core/system.h"
+
+namespace lp::benchutil {
+
+inline void maybe_dump_series(const std::string& name,
+                              const core::ExperimentResult& result) {
+  const auto dir = csv_dir_from_env();
+  if (!dir) return;
+  CsvWriter csv(*dir, name,
+                {"t_s", "p", "total_ms", "device_ms", "upload_ms",
+                 "server_ms", "download_ms", "k", "bandwidth_mbps"});
+  for (const auto& rec : result.records) {
+    csv.add_row({Table::num(to_seconds(rec.start), 3),
+                 std::to_string(rec.p), Table::num(rec.total_sec * 1e3, 3),
+                 Table::num(rec.device_sec * 1e3, 3),
+                 Table::num(rec.upload_sec * 1e3, 3),
+                 Table::num(rec.server_sec * 1e3, 3),
+                 Table::num(rec.download_sec * 1e3, 3),
+                 Table::num(rec.k_used, 3),
+                 Table::num(rec.bandwidth_est_bps / 1e6, 3)});
+  }
+  std::printf("[series written to %s]\n", csv.path().c_str());
+}
+
+}  // namespace lp::benchutil

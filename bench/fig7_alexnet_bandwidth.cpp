@@ -1,0 +1,10 @@
+// Figure 7: AlexNet under different upload bandwidths — LoADPart vs local
+// inference vs full offloading. Paper: 6.96x avg / 21.98x max vs full,
+// 1.75x avg / 3.37x max vs local.
+#include "bandwidth_compare.h"
+
+int main() {
+  lp::benchutil::run_bandwidth_comparison("alexnet", "Figure 7", 6.96,
+                                          21.98, 1.75, 3.37);
+  return 0;
+}

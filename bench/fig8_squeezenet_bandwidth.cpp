@@ -1,0 +1,10 @@
+// Figure 8: SqueezeNet under different upload bandwidths — LoADPart vs
+// local inference vs full offloading. Paper: 7.05x avg / 23.93x max vs
+// full, 1.41x avg / 2.53x max vs local.
+#include "bandwidth_compare.h"
+
+int main() {
+  lp::benchutil::run_bandwidth_comparison("squeezenet", "Figure 8", 7.05,
+                                          23.93, 1.41, 2.53);
+  return 0;
+}

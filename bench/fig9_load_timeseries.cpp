@@ -1,0 +1,158 @@
+// Figure 9: end-to-end latency of the six evaluation DNNs while the server
+// computation load ramps 0% -> 30 -> 50 -> 70 -> 90 -> 100%(l) -> 100%(h)
+// and then drops back to idle, comparing LoADPart against the Neurosurgeon
+// baseline (bandwidth-aware, load-oblivious) at a fixed 8 Mbps uplink.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+
+#include "common/table.h"
+#include "csv_dump.h"
+#include "core/system.h"
+#include "models/zoo.h"
+
+namespace {
+
+using namespace lp;
+
+struct Phase {
+  const char* label;
+  TimeNs begin;
+  TimeNs end;
+};
+
+const std::vector<core::LoadPhase>& schedule() {
+  static const std::vector<core::LoadPhase> s = {
+      {0, hw::LoadLevel::k0},
+      {seconds(30), hw::LoadLevel::k30},
+      {seconds(60), hw::LoadLevel::k50},
+      {seconds(90), hw::LoadLevel::k70},
+      {seconds(120), hw::LoadLevel::k90},
+      {seconds(150), hw::LoadLevel::k100l},
+      {seconds(190), hw::LoadLevel::k100h},
+      {seconds(220), hw::LoadLevel::k0},  // recovery
+  };
+  return s;
+}
+
+const std::vector<Phase>& phases() {
+  static const std::vector<Phase> p = {
+      {"0%", 0, seconds(30)},
+      {"30%", seconds(30), seconds(60)},
+      {"50%", seconds(60), seconds(90)},
+      {"70%", seconds(90), seconds(120)},
+      {"90%", seconds(120), seconds(150)},
+      {"100%(l)", seconds(150), seconds(190)},
+      {"100%(h)", seconds(190), seconds(220)},
+      {"recovery", seconds(220), seconds(280)},
+  };
+  return p;
+}
+
+struct PhaseStats {
+  double mean_ms = 0.0;
+  double max_ms = 0.0;
+  std::size_t modal_p = 0;
+  int count = 0;
+};
+
+PhaseStats stats_in(const core::ExperimentResult& result, const Phase& ph) {
+  PhaseStats out;
+  std::map<std::size_t, int> counts;
+  double total = 0.0;
+  for (const auto& r : result.records) {
+    if (r.start < ph.begin || r.start >= ph.end) continue;
+    total += r.total_sec;
+    out.max_ms = std::max(out.max_ms, r.total_sec * 1e3);
+    ++counts[r.p];
+    ++out.count;
+  }
+  if (out.count == 0) return out;
+  out.mean_ms = total / out.count * 1e3;
+  int best = -1;
+  for (const auto& [p, c] : counts)
+    if (c > best) {
+      best = c;
+      out.modal_p = p;
+    }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const auto bundle = core::train_default_predictors();
+
+  std::printf(
+      "Figure 9: latency under the server-load schedule "
+      "(8 Mbps uplink, 280 s; baseline = Neurosurgeon)\n\n");
+
+  double squeezenet_avg_reduction = 0.0, squeezenet_max_reduction = 0.0;
+  double overall_reduction_sum = 0.0;
+  int overall_reduction_count = 0;
+
+  for (const auto& name : models::evaluation_names()) {
+    const auto model = models::make_model(name);
+    auto run = [&](core::Policy policy) {
+      core::ExperimentConfig config;
+      config.policy = policy;
+      config.load_schedule = schedule();
+      config.duration = seconds(280);
+      config.warmup = 0;
+      config.seed = 31;
+      return core::run_experiment(model, bundle, config);
+    };
+    const auto lp_result = run(core::Policy::kLoadPart);
+    const auto ns_result = run(core::Policy::kNeurosurgeon);
+    benchutil::maybe_dump_series("fig9_" + name + "_loadpart", lp_result);
+    benchutil::maybe_dump_series("fig9_" + name + "_baseline", ns_result);
+
+    std::printf("%s (n = %zu)\n", name.c_str(), model.n());
+    Table table({"load phase", "LoADPart mean(ms)", "p", "baseline mean(ms)",
+                 "p", "reduction"});
+    double lp_sum = 0.0, ns_sum = 0.0;
+    double best_reduction = 0.0;
+    int phase_count = 0;
+    for (const auto& ph : phases()) {
+      const auto lp_stats = stats_in(lp_result, ph);
+      const auto ns_stats = stats_in(ns_result, ph);
+      std::string reduction = "-";
+      if (lp_stats.count > 0 && ns_stats.count > 0) {
+        const double red = 1.0 - lp_stats.mean_ms / ns_stats.mean_ms;
+        reduction = Table::num(red * 100.0, 1) + "%";
+        lp_sum += lp_stats.mean_ms;
+        ns_sum += ns_stats.mean_ms;
+        best_reduction = std::max(best_reduction, red);
+        ++phase_count;
+      }
+      table.add_row({ph.label,
+                     lp_stats.count ? Table::num(lp_stats.mean_ms) : "-",
+                     lp_stats.count ? std::to_string(lp_stats.modal_p) : "-",
+                     ns_stats.count ? Table::num(ns_stats.mean_ms) : "-",
+                     ns_stats.count ? std::to_string(ns_stats.modal_p) : "-",
+                     reduction});
+    }
+    table.print();
+    const double avg_reduction =
+        phase_count > 0 ? (1.0 - lp_sum / ns_sum) : 0.0;
+    std::printf("average reduction %.1f%%, best phase %.1f%%\n\n",
+                avg_reduction * 100.0, best_reduction * 100.0);
+    if (name == "squeezenet") {
+      squeezenet_avg_reduction = avg_reduction;
+      squeezenet_max_reduction = best_reduction;
+    }
+    overall_reduction_sum += avg_reduction;
+    ++overall_reduction_count;
+  }
+
+  std::printf(
+      "SqueezeNet: %.1f%% average / %.1f%% best-phase reduction "
+      "(paper: 14.2%% average, 32.3%% max)\n",
+      squeezenet_avg_reduction * 100.0, squeezenet_max_reduction * 100.0);
+  std::printf(
+      "Mean reduction across the six DNNs: %.1f%% (several models are "
+      "local-only or full-offload-only, matching the paper's flat "
+      "curves)\n",
+      overall_reduction_sum / overall_reduction_count * 100.0);
+  return 0;
+}

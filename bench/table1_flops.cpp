@@ -1,0 +1,66 @@
+// Table I: FLOPs formulas of the 8 typical computation-node kinds,
+// evaluated on representative nodes drawn from the model zoo.
+#include <cstdio>
+
+#include "common/table.h"
+#include "flops/flops.h"
+#include "models/zoo.h"
+
+int main() {
+  using namespace lp;
+  using flops::ModelKind;
+
+  std::printf("Table I: FLOPs of typical computation nodes "
+              "(sample nodes from the zoo)\n\n");
+  Table table({"kind", "formula", "example node", "in", "out", "FLOPs"});
+
+  struct FormulaRow {
+    ModelKind kind;
+    const char* formula;
+  };
+  const FormulaRow formulas[] = {
+      {ModelKind::kConv, "N*C_in*H_out*W_out*K_H*K_W*C_out"},
+      {ModelKind::kDWConv, "N*C_in*H_out*W_out*K_H*K_W"},
+      {ModelKind::kMatMul, "N*C_in*C_out"},
+      {ModelKind::kMaxPool, "N*C_out*H_out*W_out*K_H*K_W"},
+      {ModelKind::kAvgPool, "N*C_out*H_out*W_out*K_H*K_W"},
+      {ModelKind::kBiasAdd, "prod(S_i)"},
+      {ModelKind::kAdd, "prod(S_i)"},
+      {ModelKind::kBatchNorm, "prod(S_i)"},
+      {ModelKind::kRelu, "prod(S_i)"},
+  };
+
+  // Pull one example node of each kind out of the zoo.
+  for (const auto& row : formulas) {
+    bool found = false;
+    for (const auto& name : models::zoo_names()) {
+      if (found) break;
+      const auto g = models::make_model(name);
+      for (graph::NodeId id : g.backbone()) {
+        const auto& node = g.node(id);
+        if (flops::model_kind(node.op) != row.kind) continue;
+        const auto cfg = flops::config_of(g, id);
+        table.add_row({flops::model_kind_name(row.kind), row.formula,
+                       name + "/" + node.name, cfg.in.to_string(),
+                       cfg.out.to_string(),
+                       std::to_string(flops::flops_of(cfg))});
+        found = true;
+        break;
+      }
+    }
+  }
+  table.print();
+
+  std::printf("\nTable-I FLOPs totals per zoo model\n");
+  Table totals({"model", "n (backbone)", "GFLOPs (MAC convention)",
+                "params (M)"});
+  for (const auto& name : models::zoo_names()) {
+    const auto g = models::make_model(name);
+    totals.add_row(
+        {name, std::to_string(g.n()),
+         Table::num(static_cast<double>(flops::graph_flops(g)) / 1e9),
+         Table::num(static_cast<double>(g.parameter_bytes()) / 4e6)});
+  }
+  totals.print();
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Tour of the substrate: build every zoo model, print its structure,
+// cost profile, cut-size extremes and the partition decision across
+// bandwidths — useful when adding a new model to the zoo.
+#include <cstdio>
+
+#include "common/table.h"
+#include "core/algorithm.h"
+#include "graph/cut.h"
+#include "models/zoo.h"
+
+int main() {
+  using namespace lp;
+
+  const auto bundle = core::train_default_predictors();
+  const hw::CpuModel cpu;
+  const hw::GpuModel gpu;
+
+  Table table({"model", "n", "GFLOPs", "params(M)", "input(KB)",
+               "min cut(KB)", "local(ms)", "server(ms)", "p@2Mbps",
+               "p@8Mbps", "p@64Mbps"});
+  std::vector<graph::Graph> graphs;
+  graphs.reserve(models::zoo_names().size());
+  for (const auto& name : models::zoo_names()) {
+    graphs.push_back(models::make_model(name));
+    const auto& g = graphs.back();
+    const core::GraphCostProfile profile(g, bundle);
+    const auto s = graph::cut_sizes(g);
+    std::int64_t min_cut = s[0];
+    for (std::size_t p = 0; p < g.n(); ++p) min_cut = std::min(min_cut, s[p]);
+
+    auto p_at = [&](double m) {
+      return std::to_string(core::decide(profile, 1.0, mbps(m)).p);
+    };
+    table.add_row(
+        {name, std::to_string(g.n()),
+         Table::num(static_cast<double>(flops::graph_flops(g)) / 1e9, 2),
+         Table::num(static_cast<double>(g.parameter_bytes()) / 4e6, 1),
+         Table::num(static_cast<double>(g.input_desc().bytes()) / 1e3, 0),
+         Table::num(static_cast<double>(min_cut) / 1e3, 0),
+         Table::num(to_seconds(cpu.graph_time(g)) * 1e3, 0),
+         Table::num(
+             to_seconds(gpu.segment_time(g, 0, g.backbone().size() - 1)) *
+                 1e3,
+             1),
+         p_at(2), p_at(8), p_at(64)});
+  }
+  table.print();
+  std::printf(
+      "\np is the Algorithm-1 cut at k=1: 0 = full offload, n = local.\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// The offline phase end to end (Fig. 4's three-step process): profile
+// node kinds on both targets, design/inspect features, train the NNLS
+// models, persist them, and use the reloaded predictors to price AlexNet
+// layer by layer.
+#include <cstdio>
+
+#include "common/table.h"
+#include "flops/features.h"
+#include "models/zoo.h"
+#include "profile/model_store.h"
+#include "profile/offline_profiler.h"
+#include "profile/trainer.h"
+
+int main() {
+  using namespace lp;
+  using flops::Device;
+
+  // Step 1: profile the execution time of typical node kinds.
+  const hw::CpuModel cpu;
+  const hw::GpuModel gpu;
+  profile::ProfilerParams params;
+  params.samples_per_kind = 300;
+  profile::OfflineProfiler profiler(cpu, gpu, params);
+
+  // Step 2: the feature design is Table II; show one kind's features.
+  std::printf("Conv features (both devices): ");
+  for (const auto& f :
+       flops::feature_names(flops::ModelKind::kConv, Device::kEdge))
+    std::printf("%s  ", f.c_str());
+  std::printf("\n\n");
+
+  // Step 3: fit NNLS per kind per device, evaluating on held-out data.
+  profile::Trainer trainer;
+  std::vector<profile::TrainReport> reports;
+  auto user = trainer.train_all(profiler, Device::kUser, &reports);
+  auto edge = trainer.train_all(profiler, Device::kEdge, &reports);
+
+  Table accuracy({"kind", "device", "test MAPE"});
+  for (const auto& r : reports)
+    accuracy.add_row({flops::model_kind_name(r.kind),
+                      flops::device_name(r.device),
+                      Table::num(r.mape * 100.0, 1) + "%"});
+  accuracy.print();
+
+  // The trained models are stored on both sides (Section III-A).
+  profile::save_predictor(user, "m_user.txt");
+  profile::save_predictor(edge, "m_edge.txt");
+  const auto user2 = profile::load_predictor("m_user.txt", Device::kUser);
+  const auto edge2 = profile::load_predictor("m_edge.txt", Device::kEdge);
+  std::printf("\nsaved + reloaded m_user.txt / m_edge.txt\n\n");
+
+  // Price AlexNet per layer with the reloaded models.
+  const auto model = models::alexnet();
+  Table costs({"L", "node", "user pred(ms)", "edge pred(us)"});
+  for (std::size_t i = 1; i <= model.n(); ++i) {
+    const auto cfg = flops::config_of(model, model.backbone()[i]);
+    costs.add_row(
+        {std::to_string(i), model.node(model.backbone()[i]).name,
+         Table::num(user2.predict_seconds(cfg) * 1e3),
+         Table::num(edge2.predict_seconds(cfg) * 1e6, 1)});
+  }
+  costs.print();
+  std::remove("m_user.txt");
+  std::remove("m_edge.txt");
+  return 0;
+}

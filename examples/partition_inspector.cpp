@@ -1,0 +1,100 @@
+// Partition inspector: a small CLI to examine how a cut point splits a
+// model — the Fig. 5 machinery made visible.
+//
+//   partition_inspector [model] [p]
+//
+// Prints the backbone around the cut, the boundary tensors, per-side cost
+// estimates, and (with an output directory as a 3rd argument) writes the
+// two segments as model files plus Graphviz DOT renderings.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/predictor.h"
+#include "graph/cut.h"
+#include "graph/dot.h"
+#include "graph/fusion.h"
+#include "graph/serialize.h"
+#include "hw/cpu_model.h"
+#include "hw/gpu_model.h"
+#include "models/zoo.h"
+#include "partition/partitioner.h"
+
+int main(int argc, char** argv) {
+  using namespace lp;
+
+  const std::string model_name = argc > 1 ? argv[1] : "squeezenet";
+  const auto model = models::make_model(model_name);
+  const std::size_t n = model.n();
+  const std::size_t p =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : n / 2;
+  if (p > n) {
+    std::fprintf(stderr, "p must be in [0, %zu]\n", n);
+    return 1;
+  }
+
+  const hw::CpuModel cpu;
+  const hw::GpuModel gpu;
+  const auto s = graph::cut_sizes(model);
+
+  std::printf("%s: n = %zu computation nodes, cut after L%zu\n\n",
+              model_name.c_str(), n, p);
+
+  // Backbone context around the cut.
+  const std::size_t from = p >= 3 ? p - 3 : 0;
+  const std::size_t to = std::min(n, p + 3);
+  for (std::size_t i = from; i <= to; ++i) {
+    const auto& node = model.node(model.backbone()[i]);
+    std::printf("  L%-4zu %-12s %-28s %s\n", i,
+                graph::op_name(node.op).c_str(), node.name.c_str(),
+                node.output.shape.to_string().c_str());
+    if (i == p)
+      std::printf("  ---- cut: %.1f KB cross the link (%s block "
+                  "boundary) ----\n",
+                  static_cast<double>(s[p]) / 1e3,
+                  graph::cut_inside_block(model, p) ? "inside a" : "at a");
+  }
+
+  const auto plan = partition::partition_at(model, p);
+  std::printf("\nboundary tensors (%zu):\n", plan.boundary.size());
+  for (const auto& name : plan.boundary) std::printf("  %s\n", name.c_str());
+
+  const double device_ms =
+      p > 0 ? to_seconds(cpu.segment_time(model, 0, p)) * 1e3 : 0.0;
+  const double server_ms =
+      p < n ? to_seconds(gpu.segment_time(model, p + 1, n)) * 1e3 : 0.0;
+  const double server_fused_ms =
+      p < n ? to_seconds(gpu.fused_segment_time(model, p + 1, n)) * 1e3
+            : 0.0;
+  std::printf(
+      "\ncosts: device prefix %.1f ms; server suffix %.1f ms "
+      "(%.1f ms with operator fusion); upload at 8 Mbps %.1f ms\n",
+      device_ms, server_ms, server_fused_ms,
+      static_cast<double>(s[p]) * 8.0 / mbps(8) * 1e3);
+
+  if (argc > 3) {
+    const std::string dir = argv[3];
+    if (plan.device_part) {
+      graph::save_graph(*plan.device_part, dir + "/device.lpg");
+      std::FILE* f = std::fopen((dir + "/device.dot").c_str(), "w");
+      if (f) {
+        std::fputs(graph::to_dot(*plan.device_part).c_str(), f);
+        std::fclose(f);
+      }
+    }
+    if (plan.server_part) {
+      graph::save_graph(*plan.server_part, dir + "/server.lpg");
+      std::FILE* f = std::fopen((dir + "/server.dot").c_str(), "w");
+      if (f) {
+        std::fputs(graph::to_dot(*plan.server_part).c_str(), f);
+        std::fclose(f);
+      }
+    }
+    std::printf("wrote device/server .lpg and .dot files to %s\n",
+                dir.c_str());
+  } else {
+    std::printf("\n(pass an output directory to dump the two segments as "
+                "model files + DOT)\n");
+  }
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Contract checking macros.
+//
+// LP_CHECK enforces preconditions and invariants that indicate programmer
+// error; violations throw lp::ContractError so tests can assert on them and
+// long-running simulations fail loudly instead of corrupting state.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace lp {
+
+/// Thrown when a LP_CHECK contract is violated.
+class ContractError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+[[noreturn]] inline void contract_failure(const char* expr, const char* file,
+                                          int line, const std::string& msg) {
+  std::string what = std::string("contract violated: ") + expr + " at " +
+                     file + ":" + std::to_string(line);
+  if (!msg.empty()) what += ": " + msg;
+  throw ContractError(what);
+}
+
+}  // namespace lp
+
+#define LP_CHECK(expr)                                              \
+  do {                                                              \
+    if (!(expr)) ::lp::contract_failure(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define LP_CHECK_MSG(expr, msg)                                       \
+  do {                                                                \
+    if (!(expr)) ::lp::contract_failure(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)

@@ -1,0 +1,41 @@
+#include "common/csv.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/check.h"
+
+namespace lp {
+
+CsvWriter::CsvWriter(const std::string& dir, const std::string& name,
+                     std::vector<std::string> header)
+    : path_(dir + "/" + name + ".csv"), width_(header.size()) {
+  LP_CHECK(!header.empty());
+  std::FILE* f = std::fopen(path_.c_str(), "w");
+  LP_CHECK_MSG(f != nullptr, "cannot create " + path_);
+  file_ = f;
+  add_row(header);
+}
+
+CsvWriter::~CsvWriter() {
+  if (file_ != nullptr) std::fclose(static_cast<std::FILE*>(file_));
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  LP_CHECK_MSG(cells.size() == width_, "CSV row width mismatch");
+  auto* f = static_cast<std::FILE*>(file_);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    LP_CHECK_MSG(cells[i].find_first_of(",\n\"") == std::string::npos,
+                 "CSV cells must not contain separators: " + cells[i]);
+    std::fputs(cells[i].c_str(), f);
+    std::fputc(i + 1 < cells.size() ? ',' : '\n', f);
+  }
+}
+
+std::optional<std::string> csv_dir_from_env() {
+  const char* dir = std::getenv("LP_CSV_DIR");
+  if (dir == nullptr || dir[0] == '\0') return std::nullopt;
+  return std::string(dir);
+}
+
+}  // namespace lp

@@ -1,0 +1,38 @@
+// Minimal CSV writer for exporting experiment time series.
+//
+// Benches print summary tables to stdout; when LP_CSV_DIR is set in the
+// environment they additionally dump the full per-inference series as CSV
+// for external plotting (the paper's figures are time series).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace lp {
+
+class CsvWriter {
+ public:
+  /// Opens <dir>/<name>.csv and writes the header row. Throws
+  /// ContractError if the file cannot be created.
+  CsvWriter(const std::string& dir, const std::string& name,
+            std::vector<std::string> header);
+  ~CsvWriter();
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Appends a row; must match the header width.
+  void add_row(const std::vector<std::string>& cells);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::size_t width_;
+  void* file_;  // FILE*, kept out of the header
+};
+
+/// LP_CSV_DIR from the environment, if set and non-empty.
+std::optional<std::string> csv_dir_from_env();
+
+}  // namespace lp

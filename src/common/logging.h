@@ -1,0 +1,52 @@
+// Minimal leveled logger writing to stderr.
+//
+// Severity is filtered by a process-global level; default Warn keeps tests
+// and benches quiet. Not thread-safe across interleaved messages, which is
+// fine: the simulator is single-threaded.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace lp {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum severity that will be emitted.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& msg);
+}
+
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { detail::log_emit(level_, stream_.str()); }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace lp
+
+#define LP_LOG(level)                                 \
+  if (static_cast<int>(::lp::LogLevel::level) <       \
+      static_cast<int>(::lp::log_level())) {          \
+  } else                                              \
+    ::lp::LogMessage(::lp::LogLevel::level)
+
+#define LP_DEBUG LP_LOG(kDebug)
+#define LP_INFO LP_LOG(kInfo)
+#define LP_WARN LP_LOG(kWarn)
+#define LP_ERROR LP_LOG(kError)

@@ -1,0 +1,62 @@
+// Streaming and batch statistics used by profilers and benches.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+namespace lp {
+
+/// Online mean/variance/min/max accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  void clear();
+
+  std::size_t count() const { return count_; }
+  double mean() const;
+  double variance() const;  ///< Sample variance; 0 with fewer than 2 points.
+  double stddev() const;
+  double min() const;  ///< Requires count() > 0.
+  double max() const;  ///< Requires count() > 0.
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Fixed-capacity sliding window of recent samples with mean queries.
+///
+/// Used by the bandwidth estimator and the influential-factor tracker, both
+/// of which average "records in the most recent monitoring period".
+class SlidingWindow {
+ public:
+  explicit SlidingWindow(std::size_t capacity);
+
+  void add(double x);
+  void clear();
+  std::size_t size() const { return values_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  bool empty() const { return values_.empty(); }
+  double mean() const;  ///< Requires !empty().
+  double latest() const;  ///< Requires !empty().
+
+ private:
+  std::size_t capacity_;
+  std::deque<double> values_;
+  double sum_ = 0.0;
+};
+
+/// Percentile of a sample set (linear interpolation). q in [0, 100].
+/// Requires non-empty input; does not modify the argument.
+double percentile(std::vector<double> values, double q);
+
+/// Arithmetic mean of a non-empty vector.
+double mean_of(const std::vector<double>& values);
+
+}  // namespace lp

@@ -1,0 +1,36 @@
+// Plain-text table rendering for bench output.
+//
+// Benches print the same rows/series the paper's tables and figures report;
+// this formats them with aligned columns.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lp {
+
+/// Column-aligned plain-text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have the same number of cells as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the table with a header underline.
+  std::string to_string() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Formats a double with the given precision (fixed notation).
+  static std::string num(double v, int precision = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lp

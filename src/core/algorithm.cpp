@@ -1,0 +1,88 @@
+#include "core/algorithm.h"
+
+#include <limits>
+#include <vector>
+
+#include "common/check.h"
+
+namespace lp::core {
+
+Decision partition_decision(std::span<const double> f,
+                            std::span<const double> g,
+                            std::span<const std::int64_t> s,
+                            double upload_bps, double download_bps) {
+  LP_CHECK(f.size() == g.size() && f.size() == s.size());
+  LP_CHECK(f.size() >= 1);
+  LP_CHECK(upload_bps > 0.0);
+  const std::size_t n = f.size() - 1;
+
+  // prefix[i] = sum_{j<i} f(L_j); suffix[i] = sum_{j>=i} g(L_j, k).
+  std::vector<double> prefix(n + 2, 0.0), suffix(n + 2, 0.0);
+  for (std::size_t i = 1; i <= n + 1; ++i) {
+    prefix[i] = prefix[i - 1] + f[i - 1];
+    suffix[n - i + 1] = suffix[n - i + 2] + g[n - i + 1];
+  }
+
+  const double down_term =
+      download_bps > 0.0
+          ? static_cast<double>(s[n]) * 8.0 / download_bps
+          : 0.0;
+
+  double min_val = std::numeric_limits<double>::infinity();
+  std::size_t p = 0;
+  for (std::size_t i = 1; i <= n + 1; ++i) {
+    double cur;
+    if (i == n + 1) {
+      cur = prefix[i];  // local inference
+    } else {
+      cur = prefix[i] + static_cast<double>(s[i - 1]) * 8.0 / upload_bps +
+            suffix[i] + down_term;
+    }
+    if (cur <= min_val) {
+      min_val = cur;
+      p = i - 1;
+    }
+  }
+  return Decision{p, min_val};
+}
+
+Decision decide(const GraphCostProfile& profile, double k,
+                double upload_bps) {
+  LP_CHECK(k >= 1.0);
+  LP_CHECK(upload_bps > 0.0);
+  const std::size_t n = profile.n();
+  double min_val = std::numeric_limits<double>::infinity();
+  std::size_t p = 0;
+  for (std::size_t i = 1; i <= n + 1; ++i) {
+    const std::size_t cand = i - 1;
+    const double cur =
+        cand == n
+            ? profile.prefix_f(cand)
+            : profile.prefix_f(cand) +
+                  static_cast<double>(profile.s(cand)) * 8.0 / upload_bps +
+                  k * profile.suffix_g(cand);
+    if (cur <= min_val) {
+      min_val = cur;
+      p = cand;
+    }
+  }
+  return Decision{p, min_val};
+}
+
+Decision decide_brute_force(const GraphCostProfile& profile, double k,
+                            double upload_bps) {
+  const std::size_t n = profile.n();
+  Decision best{0, std::numeric_limits<double>::infinity()};
+  for (std::size_t p = 0; p <= n; ++p) {
+    double t = 0.0;
+    for (std::size_t i = 0; i <= p; ++i) t += profile.f(i);
+    if (p < n) {
+      t += static_cast<double>(profile.s(p)) * 8.0 / upload_bps;
+      for (std::size_t i = p + 1; i <= n; ++i) t += k * profile.g_base(i);
+    }
+    if (t <= best.predicted_latency) best = Decision{p, t};
+  }
+  return best;
+}
+
+}  // namespace lp::core

@@ -1,0 +1,57 @@
+#include "core/baselines.h"
+
+#include "common/check.h"
+#include "graph/cut.h"
+
+namespace lp::core {
+
+std::vector<BreakdownRow> latency_breakdown(const graph::Graph& g,
+                                            const hw::CpuModel& cpu,
+                                            const hw::GpuModel& gpu,
+                                            double upload_bps,
+                                            double download_bps) {
+  LP_CHECK(upload_bps > 0.0 && download_bps > 0.0);
+  const std::size_t n = g.n();
+  const auto s = graph::cut_sizes(g);
+
+  std::vector<BreakdownRow> rows;
+  rows.reserve(n + 1);
+  double device_acc = 0.0;  // running prefix of device time
+  for (std::size_t p = 0; p <= n; ++p) {
+    if (p > 0)
+      device_acc +=
+          to_seconds(cpu.node_time(flops::config_of(g, g.backbone()[p])));
+    BreakdownRow row;
+    row.p = p;
+    row.device_sec = device_acc;
+    if (p < n) {
+      row.upload_sec =
+          static_cast<double>(s[p]) * 8.0 / upload_bps;
+      row.server_sec = to_seconds(gpu.segment_time(g, p + 1, n));
+      row.download_sec =
+          static_cast<double>(s[n]) * 8.0 / download_bps;
+    }
+    row.total_sec =
+        row.device_sec + row.upload_sec + row.server_sec + row.download_sec;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+double local_latency_sec(const graph::Graph& g, const hw::CpuModel& cpu) {
+  return to_seconds(cpu.graph_time(g));
+}
+
+double full_offload_latency_sec(const graph::Graph& g,
+                                const hw::GpuModel& gpu, double upload_bps,
+                                double download_bps) {
+  LP_CHECK(upload_bps > 0.0 && download_bps > 0.0);
+  const double up =
+      static_cast<double>(g.input_desc().bytes()) * 8.0 / upload_bps;
+  const double down =
+      static_cast<double>(g.output_desc().bytes()) * 8.0 / download_bps;
+  return up + to_seconds(gpu.segment_time(g, 0, g.backbone().size() - 1)) +
+         down;
+}
+
+}  // namespace lp::core

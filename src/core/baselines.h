@@ -1,0 +1,43 @@
+// Analytic helpers and static baselines.
+//
+// latency_breakdown() computes, for every partition point, the ground-truth
+// (contention-free) device/network/server split — Figure 1's stacked bars.
+// The policy baselines themselves (local inference, full offloading,
+// Neurosurgeon) are Policy values executed by the runtime; helpers here give
+// their closed-form idle-server latencies for cross-checks.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "hw/cpu_model.h"
+#include "hw/gpu_model.h"
+
+namespace lp::core {
+
+struct BreakdownRow {
+  std::size_t p = 0;
+  double device_sec = 0.0;
+  double upload_sec = 0.0;
+  double server_sec = 0.0;
+  double download_sec = 0.0;
+  double total_sec = 0.0;
+};
+
+/// Ground-truth end-to-end latency of every partition point at the given
+/// bandwidths with an idle server (no queueing, no jitter).
+std::vector<BreakdownRow> latency_breakdown(const graph::Graph& g,
+                                            const hw::CpuModel& cpu,
+                                            const hw::GpuModel& gpu,
+                                            double upload_bps,
+                                            double download_bps);
+
+/// Ground-truth local-inference latency.
+double local_latency_sec(const graph::Graph& g, const hw::CpuModel& cpu);
+
+/// Ground-truth full-offload latency at the given bandwidths, idle server.
+double full_offload_latency_sec(const graph::Graph& g,
+                                const hw::GpuModel& gpu, double upload_bps,
+                                double download_bps);
+
+}  // namespace lp::core

@@ -1,0 +1,193 @@
+#include "core/dads.h"
+
+#include <limits>
+#include <queue>
+
+#include "common/check.h"
+
+namespace lp::core {
+
+namespace {
+
+/// Dinic max-flow on a small dense-ish graph with double capacities.
+class Dinic {
+ public:
+  explicit Dinic(int nodes) : adj_(static_cast<std::size_t>(nodes)) {}
+
+  void add_edge(int from, int to, double cap) {
+    adj_[static_cast<std::size_t>(from)].push_back(
+        static_cast<int>(edges_.size()));
+    edges_.push_back({to, cap});
+    adj_[static_cast<std::size_t>(to)].push_back(
+        static_cast<int>(edges_.size()));
+    edges_.push_back({from, 0.0});
+  }
+
+  double max_flow(int s, int t) {
+    double flow = 0.0;
+    while (bfs(s, t)) {
+      iter_.assign(adj_.size(), 0);
+      for (;;) {
+        const double pushed =
+            dfs(s, t, std::numeric_limits<double>::infinity());
+        if (pushed <= kEps) break;
+        flow += pushed;
+      }
+    }
+    return flow;
+  }
+
+  /// After max_flow: nodes reachable from s in the residual graph (the
+  /// device side of the min cut).
+  std::vector<bool> source_side(int s) const {
+    std::vector<bool> seen(adj_.size(), false);
+    std::queue<int> q;
+    q.push(s);
+    seen[static_cast<std::size_t>(s)] = true;
+    while (!q.empty()) {
+      const int u = q.front();
+      q.pop();
+      for (int eid : adj_[static_cast<std::size_t>(u)]) {
+        const auto& e = edges_[static_cast<std::size_t>(eid)];
+        if (e.cap > kEps && !seen[static_cast<std::size_t>(e.to)]) {
+          seen[static_cast<std::size_t>(e.to)] = true;
+          q.push(e.to);
+        }
+      }
+    }
+    return seen;
+  }
+
+ private:
+  static constexpr double kEps = 1e-12;
+  struct Edge {
+    int to;
+    double cap;
+  };
+
+  bool bfs(int s, int t) {
+    level_.assign(adj_.size(), -1);
+    std::queue<int> q;
+    q.push(s);
+    level_[static_cast<std::size_t>(s)] = 0;
+    while (!q.empty()) {
+      const int u = q.front();
+      q.pop();
+      for (int eid : adj_[static_cast<std::size_t>(u)]) {
+        const auto& e = edges_[static_cast<std::size_t>(eid)];
+        if (e.cap > kEps && level_[static_cast<std::size_t>(e.to)] < 0) {
+          level_[static_cast<std::size_t>(e.to)] =
+              level_[static_cast<std::size_t>(u)] + 1;
+          q.push(e.to);
+        }
+      }
+    }
+    return level_[static_cast<std::size_t>(t)] >= 0;
+  }
+
+  double dfs(int u, int t, double limit) {
+    if (u == t) return limit;
+    for (auto& i = iter_[static_cast<std::size_t>(u)];
+         i < static_cast<int>(adj_[static_cast<std::size_t>(u)].size());
+         ++i) {
+      const int eid =
+          adj_[static_cast<std::size_t>(u)][static_cast<std::size_t>(i)];
+      auto& e = edges_[static_cast<std::size_t>(eid)];
+      if (e.cap <= kEps ||
+          level_[static_cast<std::size_t>(e.to)] !=
+              level_[static_cast<std::size_t>(u)] + 1)
+        continue;
+      const double pushed = dfs(e.to, t, std::min(limit, e.cap));
+      if (pushed > kEps) {
+        e.cap -= pushed;
+        edges_[static_cast<std::size_t>(eid ^ 1)].cap += pushed;
+        return pushed;
+      }
+    }
+    return 0.0;
+  }
+
+  std::vector<Edge> edges_;
+  std::vector<std::vector<int>> adj_;
+  std::vector<int> level_;
+  std::vector<int> iter_;
+};
+
+}  // namespace
+
+DadsResult dads_min_cut(const GraphCostProfile& profile, double k,
+                        double upload_bps) {
+  LP_CHECK(k >= 1.0 && upload_bps > 0.0);
+  const auto& g = profile.graph();
+  const auto& order = g.backbone();
+  const std::size_t n = profile.n();
+  constexpr double kInf = 1e18;
+
+  // Layout: [0, n] backbone units, then one gadget per tensor with
+  // downstream consumers, then s and t.
+  std::vector<std::int64_t> pos(g.node_count(), -1);
+  for (std::size_t i = 0; i < order.size(); ++i)
+    pos[static_cast<std::size_t>(order[i])] = static_cast<std::int64_t>(i);
+
+  // Count gadgets (one per producing unit that has consumers).
+  std::vector<int> gadget(order.size(), -1);
+  int next = static_cast<int>(order.size());
+  for (std::size_t i = 0; i <= n; ++i) {
+    if (!g.consumers()[static_cast<std::size_t>(order[i])].empty())
+      gadget[i] = next++;
+  }
+  const int s = next++;
+  const int t = next++;
+  Dinic flow(next);
+
+  for (std::size_t i = 0; i <= n; ++i) {
+    // Device cost when unit i stays on the device.
+    if (profile.f(i) > 0.0)
+      flow.add_edge(static_cast<int>(i), t, profile.f(i));
+    // Server cost when unit i is offloaded. L0 is pinned to the device.
+    const double server_cost = i == 0 ? kInf : k * profile.g_base(i);
+    if (server_cost > 0.0) flow.add_edge(s, static_cast<int>(i), server_cost);
+
+    const graph::NodeId id = order[i];
+    if (gadget[i] >= 0) {
+      const double tx =
+          static_cast<double>(g.node(id).output.bytes()) * 8.0 / upload_bps;
+      flow.add_edge(static_cast<int>(i), gadget[i], tx);
+      for (graph::NodeId c : g.consumers()[static_cast<std::size_t>(id)]) {
+        const auto ci = pos[static_cast<std::size_t>(c)];
+        LP_CHECK(ci > 0);
+        flow.add_edge(gadget[i], static_cast<int>(ci), kInf);
+        // Monotonicity: data never flows server -> device mid-graph.
+        flow.add_edge(static_cast<int>(ci), static_cast<int>(i), kInf);
+      }
+    }
+  }
+
+  DadsResult result;
+  result.latency_sec = flow.max_flow(s, t);
+  const auto device_side = flow.source_side(s);
+  result.on_server.resize(n + 1);
+  for (std::size_t i = 0; i <= n; ++i) {
+    const bool server = !device_side[i];
+    result.on_server[i] = server;
+    if (i == 0) continue;  // virtual L0
+    if (server)
+      ++result.server_nodes;
+    else
+      ++result.device_nodes;
+  }
+  for (std::size_t i = 0; i <= n; ++i) {
+    if (result.on_server[i]) continue;
+    const graph::NodeId id = order[i];
+    for (graph::NodeId c : g.consumers()[static_cast<std::size_t>(id)]) {
+      if (result.on_server[static_cast<std::size_t>(
+              pos[static_cast<std::size_t>(c)])]) {
+        ++result.cut_tensors;
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace lp::core

@@ -1,0 +1,33 @@
+// DADS-style min-cut DNN partitioner (Hu et al., INFOCOM 2019) — the
+// O(n^3) DAG baseline the paper contrasts Algorithm 1 against.
+//
+// Finds the *general* monotone device/server assignment (data never flows
+// back from the server mid-graph) minimizing
+//     sum_device f(L_i) + sum_server k*g(L_i) + sum_cut s(u)/B_u
+// via an s-t min-cut (Dinic). Unlike Algorithm 1 it may cut inside
+// multi-branch blocks; the paper's claim — validated in tests and
+// bench/algo_scaling — is that on real DNNs it never gains anything, while
+// costing orders of magnitude more decision time.
+#pragma once
+
+#include <vector>
+
+#include "core/predictor.h"
+
+namespace lp::core {
+
+struct DadsResult {
+  double latency_sec = 0.0;  ///< optimal objective value
+  /// Placement per backbone position (true = server).
+  std::vector<bool> on_server;
+  std::size_t device_nodes = 0;
+  std::size_t server_nodes = 0;
+  std::size_t cut_tensors = 0;  ///< tensors crossing device->server
+};
+
+/// Solves the min-cut partition at influential factor k and upload
+/// bandwidth B_u (bits/s). Ignores the download term like Section IV.
+DadsResult dads_min_cut(const GraphCostProfile& profile, double k,
+                        double upload_bps);
+
+}  // namespace lp::core

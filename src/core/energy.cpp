@@ -1,0 +1,62 @@
+#include "core/energy.h"
+
+#include "common/check.h"
+#include "graph/cut.h"
+
+namespace lp::core {
+
+double device_energy_joules(const InferenceRecord& record,
+                            const hw::EnergyModel& energy) {
+  return energy.compute_joules(record.device_sec + record.overhead_sec) +
+         energy.tx_joules(record.upload_bytes, record.upload_sec) +
+         energy.rx_joules(record.download_bytes, record.download_sec) +
+         energy.wait_joules(record.server_sec);
+}
+
+double mean_energy_joules(const std::vector<InferenceRecord>& records,
+                          const hw::EnergyModel& energy) {
+  LP_CHECK(!records.empty());
+  double total = 0.0;
+  for (const auto& rec : records)
+    total += device_energy_joules(rec, energy);
+  return total / static_cast<double>(records.size());
+}
+
+std::vector<EnergyRow> energy_breakdown(const graph::Graph& g,
+                                        const hw::CpuModel& cpu,
+                                        const hw::GpuModel& gpu,
+                                        const hw::EnergyModel& energy,
+                                        double upload_bps,
+                                        double download_bps) {
+  const auto rows =
+      latency_breakdown(g, cpu, gpu, upload_bps, download_bps);
+  const auto s = graph::cut_sizes(g);
+  std::vector<EnergyRow> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) {
+    EnergyRow e;
+    e.p = row.p;
+    e.joules = energy.compute_joules(row.device_sec) +
+               energy.wait_joules(row.server_sec);
+    if (row.p < g.n()) {
+      e.joules += energy.tx_joules(s[row.p], row.upload_sec) +
+                  energy.rx_joules(s[g.n()], row.download_sec);
+    }
+    out.push_back(e);
+  }
+  return out;
+}
+
+std::size_t energy_optimal_p(const graph::Graph& g, const hw::CpuModel& cpu,
+                             const hw::GpuModel& gpu,
+                             const hw::EnergyModel& energy,
+                             double upload_bps, double download_bps) {
+  const auto rows =
+      energy_breakdown(g, cpu, gpu, energy, upload_bps, download_bps);
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < rows.size(); ++i)
+    if (rows[i].joules < rows[best].joules) best = i;
+  return rows[best].p;
+}
+
+}  // namespace lp::core

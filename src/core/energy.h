@@ -1,0 +1,38 @@
+// Energy accounting over inference records and the energy-optimal cut
+// (extension; Neurosurgeon's second objective, dropped by the paper).
+#pragma once
+
+#include "core/baselines.h"
+#include "core/offload_runtime.h"
+#include "hw/energy.h"
+
+namespace lp::core {
+
+/// Device-side energy of one completed inference.
+double device_energy_joules(const InferenceRecord& record,
+                            const hw::EnergyModel& energy);
+
+/// Mean device energy per inference over an experiment's steady state.
+double mean_energy_joules(const std::vector<InferenceRecord>& records,
+                          const hw::EnergyModel& energy);
+
+/// Oracle analysis: the cut minimizing device energy at the given
+/// bandwidths with an idle server (mirrors latency_breakdown()).
+struct EnergyRow {
+  std::size_t p = 0;
+  double joules = 0.0;
+};
+std::vector<EnergyRow> energy_breakdown(const graph::Graph& g,
+                                        const hw::CpuModel& cpu,
+                                        const hw::GpuModel& gpu,
+                                        const hw::EnergyModel& energy,
+                                        double upload_bps,
+                                        double download_bps);
+
+/// argmin over energy_breakdown.
+std::size_t energy_optimal_p(const graph::Graph& g, const hw::CpuModel& cpu,
+                             const hw::GpuModel& gpu,
+                             const hw::EnergyModel& energy,
+                             double upload_bps, double download_bps);
+
+}  // namespace lp::core

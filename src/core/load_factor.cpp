@@ -1,0 +1,37 @@
+#include "core/load_factor.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace lp::core {
+
+LoadFactorTracker::LoadFactorTracker(std::size_t window)
+    : ratios_(window), idle_ratios_(std::max<std::size_t>(4, window / 2)) {}
+
+void LoadFactorTracker::record(double measured_sec, double predicted_sec,
+                               bool contended) {
+  LP_CHECK(measured_sec >= 0.0);
+  LP_CHECK_MSG(predicted_sec > 0.0, "predicted partition time must be > 0");
+  const double ratio = measured_sec / predicted_sec;
+  ratios_.add(ratio);
+  ++records_;
+  if (!contended) idle_ratios_.add(ratio);
+}
+
+double LoadFactorTracker::k() const {
+  if (ratios_.empty()) return 1.0;
+  return std::max(1.0, ratios_.mean());
+}
+
+double LoadFactorTracker::idle_baseline() const {
+  if (idle_ratios_.empty()) return 1.0;
+  return std::max(1.0, idle_ratios_.mean());
+}
+
+void LoadFactorTracker::reset_idle() {
+  ratios_.clear();
+  ratios_.add(idle_baseline());
+}
+
+}  // namespace lp::core

@@ -1,0 +1,56 @@
+// The influential factor k of the server computation load (Section III-C).
+//
+// The server-side runtime profiler records, for each completed DNN
+// partition, the ratio of its measured execution time over the
+// model-predicted time, keeps the records of the most recent monitoring
+// period, and publishes their average (clamped to >= 1, constraint 1c).
+// A separate GPU-utilization watcher resets k toward idle when utilization
+// drops below a threshold while the device is inferring locally
+// (Section IV).
+#pragma once
+
+#include <cstdint>
+
+#include "common/stats.h"
+#include "common/units.h"
+
+namespace lp::core {
+
+class LoadFactorTracker {
+ public:
+  /// `window` = number of recent partition executions averaged.
+  explicit LoadFactorTracker(std::size_t window = 16);
+
+  /// Records one completed partition execution on the server.
+  /// `contended` says whether other work was queued on the GPU when this
+  /// partition ran (the server-side profiler can see the queue): only
+  /// uncontended measurements teach the idle baseline.
+  /// predicted_sec must be > 0 (a partition always has modeled nodes).
+  void record(double measured_sec, double predicted_sec,
+              bool contended = false);
+
+  /// Current influential factor (>= 1). With no records, 1.
+  double k() const;
+
+  /// Idle reset used by the GPU watcher: forget the loaded history so the
+  /// next published k reflects an unloaded server. The published k returns
+  /// to the *idle baseline* — the average ratio of uncontended
+  /// measurements — rather than exactly 1: by construction (Section III-C)
+  /// k folds in any systematic bias of the prediction models, and that
+  /// bias does not disappear with the load. With no idle measurement yet
+  /// (cold start under load) the baseline is 1, which makes the device try
+  /// offloading once and calibrate from that.
+  void reset_idle();
+
+  /// Mean ratio of recent uncontended executions (>= 1); 1 if none yet.
+  double idle_baseline() const;
+
+  std::uint64_t records() const { return records_; }
+
+ private:
+  SlidingWindow ratios_;
+  SlidingWindow idle_ratios_;
+  std::uint64_t records_ = 0;
+};
+
+}  // namespace lp::core

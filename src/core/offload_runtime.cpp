@@ -1,0 +1,313 @@
+#include "core/offload_runtime.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "partition/partitioner.h"
+
+namespace lp::core {
+
+std::string policy_name(Policy policy) {
+  switch (policy) {
+    case Policy::kLoadPart:
+      return "LoADPart";
+    case Policy::kNeurosurgeon:
+      return "Neurosurgeon";
+    case Policy::kLocalOnly:
+      return "Local";
+    case Policy::kFullOffload:
+      return "FullOffload";
+    case Policy::kFixedPoint:
+      return "FixedPoint";
+  }
+  return "?";
+}
+
+namespace {
+/// Multiplicative jitter factor, clamped away from zero.
+double jitter_scale(Rng& rng, double frac) {
+  return std::max(0.2, 1.0 + frac * rng.normal());
+}
+}  // namespace
+
+// ---------------------------------------------------------------- server --
+
+OffloadServer::OffloadServer(sim::Simulator& sim, hw::GpuScheduler& scheduler,
+                             const hw::GpuModel& gpu,
+                             const GraphCostProfile& profile,
+                             RuntimeParams params, std::uint64_t seed)
+    : sim_(&sim),
+      scheduler_(&scheduler),
+      gpu_(&gpu),
+      profile_(&profile),
+      params_(params),
+      ctx_(scheduler.create_context("offload-service")),
+      cache_(params.cache_capacity),
+      k_(params.k_window),
+      requests_(sim),
+      rng_(seed) {
+  sim_->spawn(service());
+}
+
+void OffloadServer::submit(SuffixRequest request) {
+  LP_CHECK(request.done != nullptr);
+  LP_CHECK_MSG(request.p < profile_->n(),
+               "nothing to execute on the server at p = n");
+  requests_.send(request);
+}
+
+sim::Task OffloadServer::service() {
+  // Fig. 3: the main service thread — receive a request, partition/execute,
+  // signal the result ready for download.
+  for (;;) {
+    const SuffixRequest request = co_await requests_.receive();
+    co_await execute_suffix(request.p, request.exec_seconds,
+                            request.overhead_seconds);
+    request.done->trigger();
+  }
+}
+
+sim::Task OffloadServer::execute_suffix(std::size_t p, double* exec_seconds,
+                                        double* overhead_seconds) {
+  const auto& g = profile_->graph();
+  const std::size_t n = profile_->n();
+  LP_CHECK_MSG(p < n, "nothing to execute on the server at p = n");
+
+  // Partition cache: a miss pays graph partitioning + runtime preparation.
+  double overhead = 0.0;
+  if (cache_.find(p) == nullptr) {
+    auto plan = partition::partition_at(g, p);
+    const std::size_t nodes =
+        plan.server_part ? plan.server_part->backbone().size() : 0;
+    overhead = params_.server_partition_base_sec +
+               params_.server_partition_per_node_sec *
+                   static_cast<double>(nodes);
+    co_await sim_->delay(seconds(overhead));
+    cache_.insert(std::move(plan));
+  }
+  if (overhead_seconds != nullptr) *overhead_seconds = overhead;
+
+  // Execute the suffix kernels on the (possibly contended) GPU.
+  auto kernels = params_.fused_server_kernels
+                     ? gpu_->fused_segment_kernels(g, p + 1, n)
+                     : gpu_->segment_kernels(g, p + 1, n);
+  const double jf = gpu_->params().jitter_frac;
+  for (auto& k : kernels)
+    k = std::max<DurationNs>(
+        1, static_cast<DurationNs>(static_cast<double>(k) *
+                                   jitter_scale(rng_, jf)));
+  // Contention snapshot: other tenants' kernels already queued when this
+  // partition is submitted. Uncontended measurements calibrate the idle
+  // baseline of k.
+  const bool contended = scheduler_->pending_kernels() > 4;
+  const TimeNs begin = sim_->now();
+  co_await scheduler_->run_job(ctx_, std::move(kernels));
+  const double measured = to_seconds(sim_->now() - begin);
+  if (exec_seconds != nullptr) *exec_seconds = measured;
+
+  // Runtime profiler bookkeeping (Section III-C): ratio of measured over
+  // model-predicted time for this partition.
+  const double predicted = profile_->suffix_g(p);
+  if (predicted > 0.0) k_.record(measured, predicted, contended);
+}
+
+void OffloadServer::start_gpu_watcher(DurationNs period) {
+  watcher_busy_mark_ = scheduler_->busy_ns();
+  watcher_time_mark_ = sim_->now();
+  sim_->spawn(gpu_watcher(period));
+}
+
+sim::Task OffloadServer::gpu_watcher(DurationNs period) {
+  LP_CHECK(period > 0);
+  for (;;) {
+    co_await sim_->delay(period);
+    const DurationNs busy = scheduler_->busy_ns();
+    const double util = static_cast<double>(busy - watcher_busy_mark_) /
+                        static_cast<double>(sim_->now() - watcher_time_mark_);
+    watcher_busy_mark_ = busy;
+    watcher_time_mark_ = sim_->now();
+    if (util < params_.gpu_util_threshold) k_.reset_idle();
+  }
+}
+
+// ---------------------------------------------------------------- client --
+
+OffloadClient::OffloadClient(sim::Simulator& sim, const hw::CpuModel& cpu,
+                             const GraphCostProfile& profile, net::Link& link,
+                             OffloadServer& server, Policy policy,
+                             RuntimeParams params, std::uint64_t seed)
+    : sim_(&sim),
+      cpu_(&cpu),
+      profile_(&profile),
+      link_(&link),
+      server_(&server),
+      policy_(policy),
+      params_(params),
+      estimator_(params.bandwidth_window),
+      cache_(params.cache_capacity),
+      infer_slot_(sim, 1),
+      rng_(seed) {}
+
+double OffloadClient::partition_overhead_sec(std::size_t nodes,
+                                             bool device) const {
+  return device ? params_.device_partition_base_sec +
+                      params_.device_partition_per_node_sec *
+                          static_cast<double>(nodes)
+                : params_.server_partition_base_sec +
+                      params_.server_partition_per_node_sec *
+                          static_cast<double>(nodes);
+}
+
+Decision OffloadClient::current_decision() const {
+  const std::size_t n = profile_->n();
+  switch (policy_) {
+    case Policy::kLoadPart:
+      return decide(*profile_, k_cached_, estimator_.estimate());
+    case Policy::kNeurosurgeon:
+      // Bandwidth-aware but load-oblivious: k stays frozen at the first
+      // value fetched (the idle-server calibration), so the partition point
+      // is the one LoADPart would choose at 0% load (Section V-C).
+      return decide(*profile_, k_cached_, estimator_.estimate());
+    case Policy::kLocalOnly:
+      return Decision{n, profile_->predicted_latency(
+                             n, 1.0, estimator_.estimate())};
+    case Policy::kFullOffload:
+      return Decision{0, profile_->predicted_latency(
+                             0, 1.0, estimator_.estimate())};
+    case Policy::kFixedPoint: {
+      const std::size_t p = std::min(params_.fixed_p, n);
+      return Decision{p, profile_->predicted_latency(
+                             p, 1.0, estimator_.estimate())};
+    }
+  }
+  return Decision{n, 0.0};
+}
+
+sim::Task OffloadClient::infer(InferenceRecord* out) {
+  LP_CHECK(out != nullptr);
+  co_await infer_slot_.acquire();  // one inference at a time on the device
+  const auto& g = profile_->graph();
+  const std::size_t n = profile_->n();
+
+  InferenceRecord rec;
+  rec.start = sim_->now();
+  const Decision decision = current_decision();
+  rec.p = decision.p;
+  rec.predicted_sec = decision.predicted_latency;
+  rec.k_used = policy_ == Policy::kLoadPart ||
+                       policy_ == Policy::kNeurosurgeon
+                   ? k_cached_
+                   : 1.0;
+  rec.bandwidth_est_bps = estimator_.estimate();
+  const std::size_t p = decision.p;
+
+  // Device-side partition cache.
+  const partition::PartitionPlan* plan = cache_.find(p);
+  if (plan == nullptr) {
+    auto fresh = partition::partition_at(g, p);
+    const std::size_t nodes =
+        fresh.device_part ? fresh.device_part->backbone().size() : 0;
+    const double overhead = partition_overhead_sec(nodes, /*device=*/true);
+    rec.overhead_sec += overhead;
+    co_await sim_->delay(seconds(overhead));
+    cache_.insert(std::move(fresh));
+    plan = cache_.find(p);
+    LP_CHECK(plan != nullptr);
+  }
+
+  // Execute the device prefix {L1..Lp}.
+  if (p > 0) {
+    const DurationNs base = cpu_->segment_time(g, 0, p);
+    const DurationNs actual = std::max<DurationNs>(
+        1, static_cast<DurationNs>(
+               static_cast<double>(base) *
+               jitter_scale(rng_, cpu_->params().jitter_frac)));
+    co_await sim_->delay(actual);
+    rec.device_sec = to_seconds(actual);
+  }
+
+  if (p < n) {
+    // Cold start (IONN setting): ship any suffix Parameters the server
+    // does not hold yet before the partition can execute there.
+    if (!params_.weights_preloaded) {
+      if (params_on_server_.empty())
+        params_on_server_.assign(g.node_count(), false);
+      std::int64_t missing = 0;
+      for (std::size_t i = p + 1; i <= n; ++i) {
+        for (graph::NodeId in : g.node(g.backbone()[i]).inputs) {
+          const auto& src = g.node(in);
+          if (!src.is_param() ||
+              params_on_server_[static_cast<std::size_t>(in)])
+            continue;
+          missing += src.output.bytes();
+          params_on_server_[static_cast<std::size_t>(in)] = true;
+        }
+      }
+      if (missing > 0) {
+        DurationNs weights_ns = 0;
+        co_await link_->upload(missing, &weights_ns);
+        rec.weight_upload_sec = to_seconds(weights_ns);
+        rec.upload_bytes += missing;
+        estimator_.add_transfer(missing, weights_ns);
+      }
+    }
+
+    // Ship the boundary tensors (plus the partition-point header).
+    const std::int64_t payload =
+        plan->boundary_bytes + params_.header_bytes;
+    DurationNs upload_ns = 0;
+    co_await link_->upload(payload, &upload_ns);
+    rec.upload_sec = to_seconds(upload_ns);
+    rec.upload_bytes += payload;
+    // Passive bandwidth measurement (Section IV): real uploads feed the
+    // sliding window alongside the active probes.
+    estimator_.add_transfer(payload, upload_ns);
+
+    double exec = 0.0, server_overhead = 0.0;
+    sim::Event result_ready(*sim_);
+    server_->submit(SuffixRequest{p, &result_ready, &exec,
+                                  &server_overhead});
+    co_await result_ready.wait();
+    rec.server_sec = exec;
+    rec.overhead_sec += server_overhead;
+
+    DurationNs down_ns = 0;
+    co_await link_->download(g.output_desc().bytes(), &down_ns);
+    rec.download_sec = to_seconds(down_ns);
+    rec.download_bytes = g.output_desc().bytes();
+  }
+
+  rec.total_sec = to_seconds(sim_->now() - rec.start);
+  *out = rec;
+  infer_slot_.release();
+}
+
+void OffloadClient::start_runtime_profiler(DurationNs period) {
+  sim_->spawn(runtime_profiler(period));
+}
+
+sim::Task OffloadClient::runtime_profiler(DurationNs period) {
+  LP_CHECK(period > 0);
+  for (;;) {
+    // Active bandwidth probe; size adapts to the current estimate.
+    const std::int64_t probe = estimator_.next_probe_bytes();
+    DurationNs measured = 0;
+    co_await link_->upload(probe, &measured);
+    estimator_.add_transfer(probe, measured);
+
+    // Ask the server-side profiler for the latest k (small control
+    // message, one round trip). The Neurosurgeon baseline keeps only the
+    // first (idle-calibration) value.
+    co_await link_->upload(params_.header_bytes, nullptr);
+    const double k = server_->current_k();
+    co_await link_->download(params_.header_bytes, nullptr);
+    if (policy_ != Policy::kNeurosurgeon || !k_fetched_once_) {
+      k_cached_ = k;
+      k_fetched_once_ = true;
+    }
+
+    co_await sim_->delay(period);
+  }
+}
+
+}  // namespace lp::core

@@ -1,0 +1,187 @@
+// Online offloading runtime: the device-side client and server-side service
+// of Figure 3, as simulation processes.
+//
+// One inference request (client):
+//   1. pick p with the policy's decision rule (LoADPart uses Algorithm 1
+//      with the cached bandwidth estimate and influential factor k);
+//   2. look p up in the device partition cache; a miss pays the partition +
+//      runtime-preparation overhead (Section III-A);
+//   3. execute {L1..Lp} on the device CPU model;
+//   4. upload the boundary tensors (passively feeding the bandwidth
+//      estimator), have the server run {Lp+1..Ln} on the GPU scheduler
+//      (its cache works the same way), download the result.
+// The server records measured/predicted ratios to maintain k; its GPU
+// watcher resets k when utilization falls below the threshold.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/algorithm.h"
+#include "core/load_factor.h"
+#include "core/predictor.h"
+#include "hw/cpu_model.h"
+#include "hw/gpu_model.h"
+#include "hw/gpu_scheduler.h"
+#include "net/estimator.h"
+#include "net/link.h"
+#include "partition/cache.h"
+
+namespace lp::core {
+
+enum class Policy {
+  kLoadPart,
+  kNeurosurgeon,
+  kLocalOnly,
+  kFullOffload,
+  kFixedPoint,  // always cut at RuntimeParams::fixed_p (oracle sweeps)
+};
+
+std::string policy_name(Policy policy);
+
+struct RuntimeParams {
+  std::size_t cache_capacity = 16;
+
+  // Cache-miss cost of partitioning the graph and preparing the framework
+  // runtime, linear in graph size (Section III-A).
+  double device_partition_base_sec = 0.040;
+  double device_partition_per_node_sec = 1.2e-3;
+  double server_partition_base_sec = 0.008;
+  double server_partition_per_node_sec = 0.25e-3;
+
+  std::size_t k_window = 16;
+  std::size_t bandwidth_window = 8;
+
+  /// Extension: execute server partitions with framework operator fusion
+  /// (one kernel per fusion group; see graph/fusion.h).
+  bool fused_server_kernels = false;
+
+  /// Partition point used by Policy::kFixedPoint (clamped to [0, n]).
+  std::size_t fixed_p = 0;
+
+  /// Extension: when false, the server starts without the model's weights
+  /// (the IONN problem, Section VI): before a node can first run remotely
+  /// its Parameters must cross the uplink. The paper's setting is
+  /// pre-deployed weights (true).
+  bool weights_preloaded = true;
+  double gpu_util_threshold = 0.90;  // watcher threshold (Section IV)
+  std::int64_t header_bytes = 128;   // partition point + tensor metadata
+};
+
+/// Everything measured about one inference (a sample of Figs. 1/2/6-9).
+struct InferenceRecord {
+  TimeNs start = 0;
+  std::size_t p = 0;
+  double total_sec = 0.0;
+  double device_sec = 0.0;
+  double upload_sec = 0.0;
+  double server_sec = 0.0;    // measured on the server, queueing included
+  double download_sec = 0.0;
+  double overhead_sec = 0.0;  // partition cache misses
+  double weight_upload_sec = 0.0;  // cold-start parameter shipping
+  std::int64_t upload_bytes = 0;
+  std::int64_t download_bytes = 0;
+  double k_used = 1.0;
+  double bandwidth_est_bps = 0.0;
+  double predicted_sec = 0.0;
+};
+
+/// An offloading request as it arrives at the server-side service
+/// process: "run {Lp+1..Ln} on my uploaded tensors and tell me when the
+/// result is ready". The transfer times of the request payload and the
+/// result are charged by the client on its link; the service charges the
+/// partition preparation and GPU execution.
+struct SuffixRequest {
+  std::size_t p = 0;
+  sim::Event* done = nullptr;      ///< triggered when the result is ready
+  double* exec_seconds = nullptr;  ///< out: measured (contended) GPU time
+  double* overhead_seconds = nullptr;  ///< out: partition-cache miss cost
+};
+
+class OffloadServer {
+ public:
+  OffloadServer(sim::Simulator& sim, hw::GpuScheduler& scheduler,
+                const hw::GpuModel& gpu, const GraphCostProfile& profile,
+                RuntimeParams params, std::uint64_t seed);
+
+  /// Enqueues a request for the service process (Fig. 3: the main thread
+  /// providing the offloading service). The caller waits on request.done.
+  /// Requires request.p < n and a non-null done event.
+  void submit(SuffixRequest request);
+
+  /// k as the runtime profiler would report it right now.
+  double current_k() const { return k_.k(); }
+
+  /// Spawns the GPU-utilization watcher (Section IV), checking every
+  /// `period` and resetting k when utilization < threshold.
+  void start_gpu_watcher(DurationNs period);
+
+  const partition::PartitionCache& cache() const { return cache_; }
+  LoadFactorTracker& load_tracker() { return k_; }
+
+ private:
+  sim::Task service();
+  sim::Task execute_suffix(std::size_t p, double* exec_seconds,
+                           double* overhead_seconds);
+  sim::Task gpu_watcher(DurationNs period);
+
+  sim::Simulator* sim_;
+  hw::GpuScheduler* scheduler_;
+  const hw::GpuModel* gpu_;
+  const GraphCostProfile* profile_;
+  RuntimeParams params_;
+  hw::GpuScheduler::ContextId ctx_;
+  partition::PartitionCache cache_;
+  LoadFactorTracker k_;
+  sim::Channel<SuffixRequest> requests_;
+  Rng rng_;
+  DurationNs watcher_busy_mark_ = 0;
+  TimeNs watcher_time_mark_ = 0;
+};
+
+class OffloadClient {
+ public:
+  OffloadClient(sim::Simulator& sim, const hw::CpuModel& cpu,
+                const GraphCostProfile& profile, net::Link& link,
+                OffloadServer& server, Policy policy, RuntimeParams params,
+                std::uint64_t seed);
+
+  /// Performs one end-to-end inference; fills *out.
+  sim::Task infer(InferenceRecord* out);
+
+  /// Spawns the device runtime profiler: every `period`, probe the upload
+  /// bandwidth and fetch the latest k from the server.
+  void start_runtime_profiler(DurationNs period);
+
+  /// The decision the client would take right now (no side effects).
+  Decision current_decision() const;
+
+  double cached_k() const { return k_cached_; }
+  const net::BandwidthEstimator& estimator() const { return estimator_; }
+  const partition::PartitionCache& cache() const { return cache_; }
+
+ private:
+  sim::Task runtime_profiler(DurationNs period);
+  double partition_overhead_sec(std::size_t nodes, bool device) const;
+
+  sim::Simulator* sim_;
+  const hw::CpuModel* cpu_;
+  const GraphCostProfile* profile_;
+  net::Link* link_;
+  OffloadServer* server_;
+  Policy policy_;
+  RuntimeParams params_;
+  net::BandwidthEstimator estimator_;
+  partition::PartitionCache cache_;
+  /// Serializes overlapping infer() calls: the device runs one inference
+  /// at a time (callers may still issue them concurrently).
+  sim::Resource infer_slot_;
+  double k_cached_ = 1.0;
+  bool k_fetched_once_ = false;
+  /// Parameter nodes already shipped to the server (weights_preloaded =
+  /// false only).
+  std::vector<bool> params_on_server_;
+  Rng rng_;
+};
+
+}  // namespace lp::core

@@ -1,0 +1,38 @@
+#include "core/runtime_profiler.h"
+
+#include "common/check.h"
+
+namespace lp::core {
+
+UtilizationMonitor::UtilizationMonitor(sim::Simulator& sim,
+                                       const hw::GpuScheduler& scheduler,
+                                       DurationNs period)
+    : sim_(&sim), scheduler_(&scheduler), period_(period) {
+  LP_CHECK(period > 0);
+}
+
+void UtilizationMonitor::start() {
+  LP_CHECK_MSG(!started_, "monitor already started");
+  started_ = true;
+  sim_->spawn(sampler());
+}
+
+sim::Task UtilizationMonitor::sampler() {
+  DurationNs busy_mark = scheduler_->busy_ns();
+  for (;;) {
+    co_await sim_->delay(period_);
+    const DurationNs busy = scheduler_->busy_ns();
+    samples_.push_back(static_cast<double>(busy - busy_mark) /
+                       static_cast<double>(period_));
+    busy_mark = busy;
+  }
+}
+
+double UtilizationMonitor::mean() const {
+  if (samples_.empty()) return 0.0;
+  double total = 0.0;
+  for (double s : samples_) total += s;
+  return total / static_cast<double>(samples_.size());
+}
+
+}  // namespace lp::core

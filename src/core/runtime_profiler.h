@@ -1,0 +1,38 @@
+// Periodic measurement utilities shared by benches and tests.
+#pragma once
+
+#include <vector>
+
+#include "common/units.h"
+#include "hw/gpu_scheduler.h"
+#include "sim/simulator.h"
+
+namespace lp::core {
+
+/// Samples GPU utilization over consecutive windows of `period` and stores
+/// the series; used by the motivation experiments (Fig. 2) and to verify
+/// that the load generator hits its utilization targets.
+class UtilizationMonitor {
+ public:
+  UtilizationMonitor(sim::Simulator& sim, const hw::GpuScheduler& scheduler,
+                     DurationNs period);
+
+  /// Spawns the sampling process (call once).
+  void start();
+
+  const std::vector<double>& samples() const { return samples_; }
+
+  /// Mean utilization over all completed windows (0 when none).
+  double mean() const;
+
+ private:
+  sim::Task sampler();
+
+  sim::Simulator* sim_;
+  const hw::GpuScheduler* scheduler_;
+  DurationNs period_;
+  bool started_ = false;
+  std::vector<double> samples_;
+};
+
+}  // namespace lp::core

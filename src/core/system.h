@@ -1,0 +1,54 @@
+// End-to-end experiment harness: wires the simulated testbed (device CPU,
+// GPU scheduler with background load, WiFi link) to an offloading policy and
+// runs a request stream, producing the latency series the paper's figures
+// plot.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/offload_runtime.h"
+#include "hw/load_generator.h"
+#include "net/bandwidth_trace.h"
+
+namespace lp::core {
+
+/// A step of the background-load schedule (Figures 2 and 9).
+struct LoadPhase {
+  TimeNs at;
+  hw::LoadLevel level;
+};
+
+struct ExperimentConfig {
+  Policy policy = Policy::kLoadPart;
+  net::BandwidthTrace upload = net::BandwidthTrace::constant(mbps(8));
+  net::BandwidthTrace download = net::BandwidthTrace::constant(mbps(8));
+  std::vector<LoadPhase> load_schedule = {{0, hw::LoadLevel::k0}};
+  DurationNs duration = seconds(30);
+  DurationNs request_gap = milliseconds(15);  // idle gap between requests
+  DurationNs profiler_period = seconds(5);    // device runtime profiler
+  DurationNs watcher_period = seconds(10);    // server GPU watcher
+  DurationNs warmup = seconds(1);  // excluded from summary statistics
+  RuntimeParams runtime;
+  std::uint64_t seed = 1;
+};
+
+struct ExperimentResult {
+  std::vector<InferenceRecord> records;  // all, including warmup
+  DurationNs warmup = 0;
+
+  /// Records after the warmup cutoff.
+  std::vector<const InferenceRecord*> steady() const;
+  double mean_latency_sec() const;
+  double max_latency_sec() const;
+  double percentile_latency_sec(double q) const;
+  /// Most frequently chosen partition point in steady state.
+  std::size_t modal_p() const;
+};
+
+/// Runs one experiment; deterministic given the config seed.
+ExperimentResult run_experiment(const graph::Graph& model,
+                                const PredictorBundle& predictors,
+                                const ExperimentConfig& config);
+
+}  // namespace lp::core

@@ -1,0 +1,315 @@
+#include "exec/interpreter.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace lp::exec {
+
+namespace {
+
+using graph::Node;
+using graph::OpType;
+
+Tensor conv2d(const Tensor& x, const Tensor& w, const graph::ConvAttrs& a,
+              const Shape& out_shape, bool depthwise) {
+  Tensor y(out_shape);
+  const auto out_c = out_shape.c();
+  for (std::int64_t n = 0; n < out_shape.n(); ++n)
+    for (std::int64_t oc = 0; oc < out_c; ++oc)
+      for (std::int64_t oh = 0; oh < out_shape.h(); ++oh)
+        for (std::int64_t ow = 0; ow < out_shape.w(); ++ow) {
+          double acc = 0.0;
+          const std::int64_t ic_begin = depthwise ? oc : 0;
+          const std::int64_t ic_end = depthwise ? oc + 1 : x.shape().c();
+          for (std::int64_t ic = ic_begin; ic < ic_end; ++ic)
+            for (std::int64_t kh = 0; kh < a.kernel_h; ++kh)
+              for (std::int64_t kw = 0; kw < a.kernel_w; ++kw) {
+                const std::int64_t ih = oh * a.stride_h - a.pad_h + kh;
+                const std::int64_t iw = ow * a.stride_w - a.pad_w + kw;
+                if (ih < 0 || ih >= x.shape().h() || iw < 0 ||
+                    iw >= x.shape().w())
+                  continue;
+                const float wv =
+                    depthwise
+                        ? w.at4(oc, 0, kh, kw)
+                        : w.at4(oc, ic, kh, kw);
+                acc += static_cast<double>(x.at4(n, ic, ih, iw)) *
+                       static_cast<double>(wv);
+              }
+          y.at4(n, oc, oh, ow) = static_cast<float>(acc);
+        }
+  return y;
+}
+
+Tensor pool2d(const Tensor& x, const graph::PoolAttrs& a,
+              const Shape& out_shape, bool is_max) {
+  Tensor y(out_shape);
+  for (std::int64_t n = 0; n < out_shape.n(); ++n)
+    for (std::int64_t c = 0; c < out_shape.c(); ++c)
+      for (std::int64_t oh = 0; oh < out_shape.h(); ++oh)
+        for (std::int64_t ow = 0; ow < out_shape.w(); ++ow) {
+          double acc = is_max ? -1e30 : 0.0;
+          int valid = 0;
+          for (std::int64_t kh = 0; kh < a.kernel_h; ++kh)
+            for (std::int64_t kw = 0; kw < a.kernel_w; ++kw) {
+              const std::int64_t ih = oh * a.stride_h - a.pad_h + kh;
+              const std::int64_t iw = ow * a.stride_w - a.pad_w + kw;
+              if (ih < 0 || ih >= x.shape().h() || iw < 0 ||
+                  iw >= x.shape().w())
+                continue;
+              const double v = x.at4(n, c, ih, iw);
+              if (is_max)
+                acc = std::max(acc, v);
+              else
+                acc += v;
+              ++valid;
+            }
+          LP_CHECK_MSG(valid > 0, "pool window entirely in padding");
+          y.at4(n, c, oh, ow) =
+              static_cast<float>(is_max ? acc : acc / valid);
+        }
+  return y;
+}
+
+Tensor matmul(const Tensor& x, const Tensor& w, const Shape& out_shape) {
+  Tensor y(out_shape);
+  const auto rows = x.shape().dim(0);
+  const auto inner = x.shape().dim(1);
+  const auto cols = out_shape.dim(1);
+  for (std::int64_t r = 0; r < rows; ++r)
+    for (std::int64_t c = 0; c < cols; ++c) {
+      double acc = 0.0;
+      for (std::int64_t k = 0; k < inner; ++k)
+        acc += static_cast<double>(x.at2(r, k)) *
+               static_cast<double>(w.at2(k, c));
+      y.at2(r, c) = static_cast<float>(acc);
+    }
+  return y;
+}
+
+Tensor bias_add(const Tensor& x, const Tensor& bias) {
+  Tensor y = x;
+  if (x.shape().rank() == 4) {
+    for (std::int64_t n = 0; n < x.shape().n(); ++n)
+      for (std::int64_t c = 0; c < x.shape().c(); ++c)
+        for (std::int64_t h = 0; h < x.shape().h(); ++h)
+          for (std::int64_t w = 0; w < x.shape().w(); ++w)
+            y.at4(n, c, h, w) += bias.at(c);
+  } else {
+    LP_CHECK(x.shape().rank() == 2);
+    for (std::int64_t r = 0; r < x.shape().dim(0); ++r)
+      for (std::int64_t c = 0; c < x.shape().dim(1); ++c)
+        y.at2(r, c) += bias.at(c);
+  }
+  return y;
+}
+
+Tensor batchnorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
+                 const Tensor& mean, const Tensor& var) {
+  constexpr float kEps = 1e-5f;
+  Tensor y = x;
+  for (std::int64_t n = 0; n < x.shape().n(); ++n)
+    for (std::int64_t c = 0; c < x.shape().c(); ++c) {
+      // Deterministic pseudo-random "variance" values can be negative;
+      // clamp so normalization stays finite (value equality across the two
+      // partition halves is what matters, not statistical realism).
+      const float denom = std::sqrt(std::max(var.at(c), 0.0f) + kEps);
+      for (std::int64_t h = 0; h < x.shape().h(); ++h)
+        for (std::int64_t w = 0; w < x.shape().w(); ++w)
+          y.at4(n, c, h, w) =
+              gamma.at(c) * (x.at4(n, c, h, w) - mean.at(c)) / denom +
+              beta.at(c);
+    }
+  return y;
+}
+
+Tensor elementwise(const Tensor& x, OpType op) {
+  Tensor y = x;
+  switch (op) {
+    case OpType::kRelu:
+      for (std::int64_t i = 0; i < y.elements(); ++i)
+        y.at(i) = std::max(0.0f, y.at(i));
+      break;
+    case OpType::kSigmoid:
+      for (std::int64_t i = 0; i < y.elements(); ++i)
+        y.at(i) = 1.0f / (1.0f + std::exp(-y.at(i)));
+      break;
+    case OpType::kTanh:
+      for (std::int64_t i = 0; i < y.elements(); ++i)
+        y.at(i) = std::tanh(y.at(i));
+      break;
+    default:
+      LP_CHECK_MSG(false, "not an elementwise unary op");
+  }
+  return y;
+}
+
+Tensor softmax(const Tensor& x) {
+  // Softmax over the last axis.
+  Tensor y = x;
+  const auto last = static_cast<std::int64_t>(x.shape().rank()) - 1;
+  const auto width = x.shape().dim(static_cast<std::size_t>(last));
+  const auto rows = x.elements() / width;
+  for (std::int64_t r = 0; r < rows; ++r) {
+    float maxv = -1e30f;
+    for (std::int64_t c = 0; c < width; ++c)
+      maxv = std::max(maxv, x.at(r * width + c));
+    double sum = 0.0;
+    for (std::int64_t c = 0; c < width; ++c) {
+      const float e = std::exp(x.at(r * width + c) - maxv);
+      y.at(r * width + c) = e;
+      sum += e;
+    }
+    for (std::int64_t c = 0; c < width; ++c)
+      y.at(r * width + c) = static_cast<float>(y.at(r * width + c) / sum);
+  }
+  return y;
+}
+
+Tensor concat(const std::vector<const Tensor*>& xs, const Shape& out_shape) {
+  // Channel (axis-1) concatenation of NCHW tensors.
+  Tensor y(out_shape);
+  std::int64_t c_off = 0;
+  for (const Tensor* x : xs) {
+    for (std::int64_t n = 0; n < x->shape().n(); ++n)
+      for (std::int64_t c = 0; c < x->shape().c(); ++c)
+        for (std::int64_t h = 0; h < x->shape().h(); ++h)
+          for (std::int64_t w = 0; w < x->shape().w(); ++w)
+            y.at4(n, c_off + c, h, w) = x->at4(n, c, h, w);
+    c_off += x->shape().c();
+  }
+  return y;
+}
+
+}  // namespace
+
+std::vector<std::string> Interpreter::output_names() const {
+  const auto& g = *graph_;
+  const Node& out = g.node(g.output_id());
+  const Node* tuple_src = &out;
+  if (out.op == OpType::kReturn)
+    tuple_src = &g.node(out.inputs.front());
+  if (tuple_src->op == OpType::kMakeTuple) {
+    std::vector<std::string> names;
+    for (graph::NodeId in : tuple_src->inputs)
+      names.push_back(g.node(in).name);
+    return names;
+  }
+  return {tuple_src->name};
+}
+
+std::vector<Tensor> Interpreter::run(const TensorMap& bindings) const {
+  const auto& g = *graph_;
+  // Values indexed by node id; MakeTuple holds no tensor of its own.
+  std::vector<Tensor> values(g.node_count());
+
+  auto value_of = [&](graph::NodeId id) -> const Tensor& {
+    return values[static_cast<std::size_t>(id)];
+  };
+
+  for (const Node& node : g.nodes()) {
+    if (node.is_param()) {
+      auto it = bindings.find(node.name);
+      values[static_cast<std::size_t>(node.id)] =
+          it != bindings.end() ? it->second
+                               : deterministic_param(node.name,
+                                                     node.output.shape);
+      LP_CHECK_MSG(value_of(node.id).shape() == node.output.shape,
+                   "bound tensor shape mismatch for " + node.name);
+      continue;
+    }
+    switch (node.op) {
+      case OpType::kInput: {
+        auto it = bindings.find(node.name);
+        LP_CHECK_MSG(it != bindings.end(),
+                     "missing input binding: " + node.name);
+        LP_CHECK_MSG(it->second.shape() == node.output.shape,
+                     "input shape mismatch");
+        values[static_cast<std::size_t>(node.id)] = it->second;
+        break;
+      }
+      case OpType::kConv:
+      case OpType::kDWConv: {
+        const auto& a = std::get<graph::ConvAttrs>(node.attrs);
+        values[static_cast<std::size_t>(node.id)] =
+            conv2d(value_of(node.inputs[0]), value_of(node.inputs[1]), a,
+                   node.output.shape, node.op == OpType::kDWConv);
+        break;
+      }
+      case OpType::kMatMul:
+        values[static_cast<std::size_t>(node.id)] =
+            matmul(value_of(node.inputs[0]), value_of(node.inputs[1]),
+                   node.output.shape);
+        break;
+      case OpType::kMaxPool:
+      case OpType::kAvgPool: {
+        const auto& a = std::get<graph::PoolAttrs>(node.attrs);
+        values[static_cast<std::size_t>(node.id)] =
+            pool2d(value_of(node.inputs[0]), a, node.output.shape,
+                   node.op == OpType::kMaxPool);
+        break;
+      }
+      case OpType::kBiasAdd:
+        values[static_cast<std::size_t>(node.id)] =
+            bias_add(value_of(node.inputs[0]), value_of(node.inputs[1]));
+        break;
+      case OpType::kAdd: {
+        Tensor y = value_of(node.inputs[0]);
+        const Tensor& b = value_of(node.inputs[1]);
+        for (std::int64_t i = 0; i < y.elements(); ++i) y.at(i) += b.at(i);
+        values[static_cast<std::size_t>(node.id)] = std::move(y);
+        break;
+      }
+      case OpType::kBatchNorm:
+        values[static_cast<std::size_t>(node.id)] = batchnorm(
+            value_of(node.inputs[0]), value_of(node.inputs[1]),
+            value_of(node.inputs[2]), value_of(node.inputs[3]),
+            value_of(node.inputs[4]));
+        break;
+      case OpType::kRelu:
+      case OpType::kSigmoid:
+      case OpType::kTanh:
+        values[static_cast<std::size_t>(node.id)] =
+            elementwise(value_of(node.inputs[0]), node.op);
+        break;
+      case OpType::kSoftmax:
+        values[static_cast<std::size_t>(node.id)] =
+            softmax(value_of(node.inputs[0]));
+        break;
+      case OpType::kConcat: {
+        std::vector<const Tensor*> xs;
+        for (graph::NodeId in : node.inputs) xs.push_back(&value_of(in));
+        values[static_cast<std::size_t>(node.id)] =
+            concat(xs, node.output.shape);
+        break;
+      }
+      case OpType::kFlatten: {
+        const Tensor& x = value_of(node.inputs[0]);
+        values[static_cast<std::size_t>(node.id)] =
+            Tensor(node.output.shape,
+                   std::vector<float>(x.data(), x.data() + x.elements()));
+        break;
+      }
+      case OpType::kMakeTuple:
+      case OpType::kReturn:
+        // Structural; handled when collecting outputs.
+        break;
+    }
+  }
+
+  // Collect outputs.
+  const Node& out = g.node(g.output_id());
+  const Node* tuple_src = &out;
+  if (out.op == OpType::kReturn) tuple_src = &g.node(out.inputs.front());
+  std::vector<Tensor> results;
+  if (tuple_src->op == OpType::kMakeTuple) {
+    for (graph::NodeId in : tuple_src->inputs)
+      results.push_back(value_of(in));
+  } else {
+    results.push_back(value_of(tuple_src->id));
+  }
+  return results;
+}
+
+}  // namespace lp::exec

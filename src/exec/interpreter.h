@@ -1,0 +1,41 @@
+// Reference interpreter: executes a computation graph with real float math.
+//
+// Role in the system: the DL-framework runtime that actually runs each
+// partition. Tests use it to verify that executing the device segment, then
+// feeding the boundary tensors into the server segment, reproduces the
+// whole-graph output exactly (the partitioner's core contract, Fig. 5).
+#pragma once
+
+#include <unordered_map>
+
+#include "exec/tensor.h"
+#include "graph/graph.h"
+
+namespace lp::exec {
+
+/// Named tensors passed into (and returned from) a graph execution.
+using TensorMap = std::unordered_map<std::string, Tensor>;
+
+class Interpreter {
+ public:
+  /// The graph must stay alive for the interpreter's lifetime.
+  explicit Interpreter(const graph::Graph& g) : graph_(&g) {}
+
+  /// Runs the graph. `bindings` provides the Input node's tensor (by node
+  /// name) and overrides for any Parameter (by parameter name) — this is how
+  /// partition-boundary tensors enter a server segment. Unbound Parameters
+  /// take deterministic_param(name) values.
+  ///
+  /// Returns one tensor per graph output: the output node's tensor, or, when
+  /// the output is a Return over a MakeTuple, each tuple element in order.
+  std::vector<Tensor> run(const TensorMap& bindings) const;
+
+  /// Names of the boundary tensors run() returns, in order (the MakeTuple
+  /// operands' names, or the single output node's name).
+  std::vector<std::string> output_names() const;
+
+ private:
+  const graph::Graph* graph_;
+};
+
+}  // namespace lp::exec

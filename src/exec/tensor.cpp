@@ -1,0 +1,77 @@
+#include "exec/tensor.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace lp::exec {
+
+Tensor::Tensor(Shape shape)
+    : shape_(std::move(shape)),
+      data_(static_cast<std::size_t>(shape_.elements()), 0.0f) {}
+
+Tensor::Tensor(Shape shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  LP_CHECK(static_cast<std::int64_t>(data_.size()) == shape_.elements());
+}
+
+float& Tensor::at(std::int64_t i) {
+  LP_CHECK(i >= 0 && i < elements());
+  return data_[static_cast<std::size_t>(i)];
+}
+float Tensor::at(std::int64_t i) const {
+  LP_CHECK(i >= 0 && i < elements());
+  return data_[static_cast<std::size_t>(i)];
+}
+
+float& Tensor::at4(std::int64_t n, std::int64_t c, std::int64_t h,
+                   std::int64_t w) {
+  return data_[static_cast<std::size_t>(
+      ((n * shape_.c() + c) * shape_.h() + h) * shape_.w() + w)];
+}
+float Tensor::at4(std::int64_t n, std::int64_t c, std::int64_t h,
+                  std::int64_t w) const {
+  return data_[static_cast<std::size_t>(
+      ((n * shape_.c() + c) * shape_.h() + h) * shape_.w() + w)];
+}
+
+float& Tensor::at2(std::int64_t r, std::int64_t c) {
+  return data_[static_cast<std::size_t>(r * shape_.dim(1) + c)];
+}
+float Tensor::at2(std::int64_t r, std::int64_t c) const {
+  return data_[static_cast<std::size_t>(r * shape_.dim(1) + c)];
+}
+
+double Tensor::max_abs_diff(const Tensor& a, const Tensor& b) {
+  LP_CHECK_MSG(a.shape() == b.shape(), "shape mismatch in comparison");
+  double worst = 0.0;
+  for (std::int64_t i = 0; i < a.elements(); ++i)
+    worst = std::max(worst, std::abs(static_cast<double>(a.at(i)) -
+                                     static_cast<double>(b.at(i))));
+  return worst;
+}
+
+Tensor random_tensor(const Shape& shape, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(shape);
+  for (std::int64_t i = 0; i < t.elements(); ++i)
+    t.at(i) = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return t;
+}
+
+Tensor deterministic_param(const std::string& name, const Shape& shape) {
+  // FNV-1a over the name gives a stable seed across both partition halves.
+  std::uint64_t h = 1469598103934665603ull;
+  for (char ch : name) {
+    h ^= static_cast<unsigned char>(ch);
+    h *= 1099511628211ull;
+  }
+  Rng rng(h);
+  Tensor t(shape);
+  for (std::int64_t i = 0; i < t.elements(); ++i)
+    t.at(i) = static_cast<float>(rng.normal(0.0, 0.05));
+  return t;
+}
+
+}  // namespace lp::exec

@@ -1,0 +1,57 @@
+// Dense float32 tensors for the reference interpreter.
+//
+// This is deliberately simple, correctness-first storage: the interpreter
+// exists to prove that a partitioned graph computes exactly what the whole
+// graph computes, not to be fast.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/shape.h"
+
+namespace lp::exec {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(Shape shape);
+  Tensor(Shape shape, std::vector<float> data);
+
+  const Shape& shape() const { return shape_; }
+  std::int64_t elements() const { return shape_.elements(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  float& at(std::int64_t i);
+  float at(std::int64_t i) const;
+
+  /// NCHW element access; requires rank 4 and in-range indices.
+  float& at4(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w);
+  float at4(std::int64_t n, std::int64_t c, std::int64_t h,
+            std::int64_t w) const;
+
+  /// Rank-2 element access.
+  float& at2(std::int64_t r, std::int64_t c);
+  float at2(std::int64_t r, std::int64_t c) const;
+
+  /// Largest absolute element-wise difference; shapes must match.
+  static double max_abs_diff(const Tensor& a, const Tensor& b);
+
+ private:
+  Shape shape_;
+  std::vector<float> data_;
+};
+
+/// Uniform [-1, 1) tensor from a seed.
+Tensor random_tensor(const Shape& shape, std::uint64_t seed);
+
+/// Deterministic pseudo-random parameter derived from the parameter's name,
+/// so both halves of a partitioned graph see identical weights without any
+/// shared state. Values are scaled down (~N(0, 0.05)) to keep deep-network
+/// activations finite.
+Tensor deterministic_param(const std::string& name, const Shape& shape);
+
+}  // namespace lp::exec

@@ -1,0 +1,148 @@
+#include "flops/flops.h"
+
+#include "common/check.h"
+
+namespace lp::flops {
+
+std::string model_kind_name(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kConv:
+      return "Conv";
+    case ModelKind::kDWConv:
+      return "DWConv";
+    case ModelKind::kMatMul:
+      return "Matmul";
+    case ModelKind::kAvgPool:
+      return "AvgPooling";
+    case ModelKind::kMaxPool:
+      return "MaxPooling";
+    case ModelKind::kBiasAdd:
+      return "BiasAdd";
+    case ModelKind::kAdd:
+      return "Elem-wise Add";
+    case ModelKind::kBatchNorm:
+      return "BatchNorm";
+    case ModelKind::kRelu:
+      return "ReLU";
+    case ModelKind::kSigmoid:
+      return "Sigmoid";
+    case ModelKind::kTanh:
+      return "Tanh";
+    case ModelKind::kSoftmax:
+      return "Softmax";
+    case ModelKind::kNone:
+      return "(none)";
+  }
+  return "?";
+}
+
+const std::vector<ModelKind>& all_model_kinds() {
+  static const std::vector<ModelKind> kinds = {
+      ModelKind::kConv,    ModelKind::kDWConv,    ModelKind::kMatMul,
+      ModelKind::kAvgPool, ModelKind::kMaxPool,   ModelKind::kBiasAdd,
+      ModelKind::kAdd,     ModelKind::kBatchNorm, ModelKind::kRelu,
+      ModelKind::kSigmoid, ModelKind::kTanh,      ModelKind::kSoftmax};
+  return kinds;
+}
+
+ModelKind model_kind(graph::OpType op) {
+  using graph::OpType;
+  switch (op) {
+    case OpType::kConv:
+      return ModelKind::kConv;
+    case OpType::kDWConv:
+      return ModelKind::kDWConv;
+    case OpType::kMatMul:
+      return ModelKind::kMatMul;
+    case OpType::kAvgPool:
+      return ModelKind::kAvgPool;
+    case OpType::kMaxPool:
+      return ModelKind::kMaxPool;
+    case OpType::kBiasAdd:
+      return ModelKind::kBiasAdd;
+    case OpType::kAdd:
+      return ModelKind::kAdd;
+    case OpType::kBatchNorm:
+      return ModelKind::kBatchNorm;
+    case OpType::kRelu:
+      return ModelKind::kRelu;
+    case OpType::kSigmoid:
+      return ModelKind::kSigmoid;
+    case OpType::kTanh:
+      return ModelKind::kTanh;
+    case OpType::kSoftmax:
+      return ModelKind::kSoftmax;
+    case OpType::kInput:
+    case OpType::kConcat:
+    case OpType::kFlatten:
+    case OpType::kMakeTuple:
+    case OpType::kReturn:
+      return ModelKind::kNone;
+  }
+  return ModelKind::kNone;
+}
+
+NodeConfig config_of(const graph::Graph& g, graph::NodeId id) {
+  const auto& node = g.node(id);
+  LP_CHECK(node.is_cnode());
+  NodeConfig cfg;
+  cfg.op = node.op;
+  cfg.out = node.output.shape;
+  // Primary input = first data input: a CNode, or a boundary Parameter
+  // standing in for one in a partition segment (weights are skipped).
+  for (graph::NodeId in : node.inputs) {
+    const auto& src = g.node(in);
+    if (src.is_cnode() || src.boundary) {
+      cfg.in = src.output.shape;
+      break;
+    }
+  }
+  if (node.op == graph::OpType::kInput) cfg.in = cfg.out;
+  if (const auto* conv = std::get_if<graph::ConvAttrs>(&node.attrs)) {
+    cfg.kernel_h = conv->kernel_h;
+    cfg.kernel_w = conv->kernel_w;
+    cfg.pad_h = conv->pad_h;
+    cfg.pad_w = conv->pad_w;
+  } else if (const auto* pool = std::get_if<graph::PoolAttrs>(&node.attrs)) {
+    cfg.kernel_h = pool->kernel_h;
+    cfg.kernel_w = pool->kernel_w;
+    cfg.pad_h = pool->pad_h;
+    cfg.pad_w = pool->pad_w;
+  }
+  return cfg;
+}
+
+std::int64_t flops_of(const NodeConfig& cfg) {
+  using graph::OpType;
+  const ModelKind kind = model_kind(cfg.op);
+  if (kind == ModelKind::kNone) return 0;
+  switch (cfg.op) {
+    case OpType::kConv:
+      // N * C_in * H_out * W_out * K_H * K_W * C_out
+      return cfg.out.n() * cfg.in.c() * cfg.out.h() * cfg.out.w() *
+             cfg.kernel_h * cfg.kernel_w * cfg.out.c();
+    case OpType::kDWConv:
+      // N * C_in * H_out * W_out * K_H * K_W
+      return cfg.out.n() * cfg.in.c() * cfg.out.h() * cfg.out.w() *
+             cfg.kernel_h * cfg.kernel_w;
+    case OpType::kMatMul:
+      // N * C_in * C_out
+      return cfg.in.dim(0) * cfg.in.dim(1) * cfg.out.dim(1);
+    case OpType::kMaxPool:
+    case OpType::kAvgPool:
+      // N * C_out * H_out * W_out * K_H * K_W
+      return cfg.out.n() * cfg.out.c() * cfg.out.h() * cfg.out.w() *
+             cfg.kernel_h * cfg.kernel_w;
+    default:
+      // Element-wise family: the input tensor's total size.
+      return cfg.in.elements();
+  }
+}
+
+std::int64_t graph_flops(const graph::Graph& g) {
+  std::int64_t total = 0;
+  for (graph::NodeId id : g.backbone()) total += flops_of(config_of(g, id));
+  return total;
+}
+
+}  // namespace lp::flops

@@ -1,0 +1,66 @@
+// FLOPs accounting (Table I) and prediction-model taxonomy.
+//
+// Each CNode maps to one of the prediction-model kinds of Table III (or to
+// kNone — nodes without developed models, which Section IV assigns zero
+// cost). A NodeConfig captures everything the cost and prediction models
+// need about one node, independent of the graph it came from, so the offline
+// profiler can sample synthetic configurations uniformly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.h"
+#include "tensor/shape.h"
+
+namespace lp::flops {
+
+/// The prediction-model families of Table III.
+enum class ModelKind {
+  kConv,
+  kDWConv,
+  kMatMul,
+  kAvgPool,
+  kMaxPool,
+  kBiasAdd,
+  kAdd,
+  kBatchNorm,
+  kRelu,
+  kSigmoid,
+  kTanh,
+  kSoftmax,
+  kNone,  // Input / Concat / Flatten / MakeTuple / Return: f = g = 0
+};
+
+constexpr int kNumModelKinds = 12;  // excludes kNone
+
+std::string model_kind_name(ModelKind kind);
+
+/// All modeled kinds, in Table III order.
+const std::vector<ModelKind>& all_model_kinds();
+
+/// Maps an operator to its prediction-model family.
+ModelKind model_kind(graph::OpType op);
+
+/// A node's compute configuration, detached from any graph.
+struct NodeConfig {
+  graph::OpType op = graph::OpType::kInput;
+  Shape in;   // primary (first tensor) input shape
+  Shape out;  // output shape
+  std::int64_t kernel_h = 0;  // conv/pool only
+  std::int64_t kernel_w = 0;
+  std::int64_t pad_h = 0;
+  std::int64_t pad_w = 0;
+};
+
+/// Extracts the configuration of a CNode in a graph.
+NodeConfig config_of(const graph::Graph& g, graph::NodeId id);
+
+/// Table I: FLOPs of a computation node. Nodes with ModelKind kNone
+/// contribute 0.
+std::int64_t flops_of(const NodeConfig& cfg);
+
+/// Sum of flops_of over the backbone.
+std::int64_t graph_flops(const graph::Graph& g);
+
+}  // namespace lp::flops

@@ -1,0 +1,95 @@
+#include "graph/cut.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace lp::graph {
+
+namespace {
+/// Position of every CNode in the backbone order; -1 for Parameters.
+std::vector<std::int64_t> backbone_positions(const Graph& g) {
+  std::vector<std::int64_t> pos(g.node_count(), -1);
+  const auto& order = g.backbone();
+  for (std::size_t i = 0; i < order.size(); ++i)
+    pos[static_cast<std::size_t>(order[i])] = static_cast<std::int64_t>(i);
+  return pos;
+}
+}  // namespace
+
+std::vector<std::int64_t> cut_sizes(const Graph& g) {
+  const auto& order = g.backbone();
+  const std::size_t n = g.n();
+  const auto pos = backbone_positions(g);
+
+  // A tensor produced at position u and last consumed at position v crosses
+  // every cut p with u <= p < v. Accumulate with a difference array.
+  std::vector<std::int64_t> diff(n + 2, 0);
+  for (NodeId id : order) {
+    const Node& node = g.node(id);
+    std::int64_t last_consumer = -1;
+    for (NodeId c : g.consumers()[static_cast<std::size_t>(id)]) {
+      last_consumer =
+          std::max(last_consumer, pos[static_cast<std::size_t>(c)]);
+    }
+    if (last_consumer < 0) continue;  // output node; handled below
+    const auto u = pos[static_cast<std::size_t>(id)];
+    LP_CHECK(u >= 0 && last_consumer > u);
+    diff[static_cast<std::size_t>(u)] += node.output.bytes();
+    diff[static_cast<std::size_t>(last_consumer)] -= node.output.bytes();
+  }
+
+  std::vector<std::int64_t> s(n + 1, 0);
+  std::int64_t acc = 0;
+  for (std::size_t p = 0; p <= n; ++p) {
+    acc += diff[p];
+    s[p] = acc;
+  }
+  // By convention (paper Section III-D) s_n is the output tensor size.
+  s[n] = g.output_desc().bytes();
+  return s;
+}
+
+std::int64_t cut_size_at(const Graph& g, std::size_t p) {
+  const auto& order = g.backbone();
+  const std::size_t n = g.n();
+  LP_CHECK(p <= n);
+  if (p == n) return g.output_desc().bytes();
+  const auto pos = backbone_positions(g);
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i <= p; ++i) {
+    const NodeId id = order[i];
+    bool crosses = false;
+    for (NodeId c : g.consumers()[static_cast<std::size_t>(id)]) {
+      if (pos[static_cast<std::size_t>(c)] >
+          static_cast<std::int64_t>(p)) {
+        crosses = true;
+        break;
+      }
+    }
+    if (crosses) total += g.node(id).output.bytes();
+  }
+  return total;
+}
+
+bool cut_inside_block(const Graph& g, std::size_t p) {
+  const auto& order = g.backbone();
+  const std::size_t n = g.n();
+  LP_CHECK(p <= n);
+  if (p == n) return false;
+  const auto pos = backbone_positions(g);
+  int crossing_tensors = 0;
+  for (std::size_t i = 0; i <= p; ++i) {
+    const NodeId id = order[i];
+    for (NodeId c : g.consumers()[static_cast<std::size_t>(id)]) {
+      if (pos[static_cast<std::size_t>(c)] >
+          static_cast<std::int64_t>(p)) {
+        ++crossing_tensors;
+        break;
+      }
+    }
+  }
+  return crossing_tensors > 1;
+}
+
+}  // namespace lp::graph

@@ -1,0 +1,27 @@
+// Transmission sizes s_p of every topological-order cut (Section III-D).
+//
+// Cutting the backbone order {L0..Ln} after Lp splits the graph into a
+// device prefix S and a server suffix T; the bytes crossing the cut are the
+// outputs of nodes in S that some node in T consumes. s_0 is the input
+// tensor size and s_n the output tensor size, as in the paper.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace lp::graph {
+
+/// s_p for p = 0..n (n = graph.n()). O(V + E).
+std::vector<std::int64_t> cut_sizes(const Graph& g);
+
+/// Bytes crossing one specific cut, computed directly (O(V+E)); used to
+/// cross-check cut_sizes in tests and by the brute-force DAG enumerator.
+std::int64_t cut_size_at(const Graph& g, std::size_t p);
+
+/// True if the cut after position p severs more than one tensor, i.e. the
+/// cut lies inside a multi-branch block (Residual / Inception / fire).
+bool cut_inside_block(const Graph& g, std::size_t p);
+
+}  // namespace lp::graph

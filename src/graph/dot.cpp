@@ -1,0 +1,37 @@
+#include "graph/dot.h"
+
+#include <sstream>
+
+namespace lp::graph {
+
+std::string to_dot(const Graph& g, bool backbone_only,
+                   std::int64_t highlight_cut) {
+  std::vector<std::int64_t> pos(g.node_count(), -1);
+  for (std::size_t i = 0; i < g.backbone().size(); ++i)
+    pos[static_cast<std::size_t>(g.backbone()[i])] =
+        static_cast<std::int64_t>(i);
+
+  std::ostringstream out;
+  out << "digraph \"" << g.name() << "\" {\n  rankdir=TB;\n";
+  for (const auto& n : g.nodes()) {
+    if (backbone_only && n.is_param()) continue;
+    out << "  n" << n.id << " [label=\"" << n.name << "\\n"
+        << n.output.shape.to_string() << "\"";
+    if (n.is_param()) out << ", shape=ellipse, style=dashed";
+    else out << ", shape=box";
+    const auto p = pos[static_cast<std::size_t>(n.id)];
+    if (p >= 0 && p <= highlight_cut) out << ", style=filled";
+    out << "];\n";
+  }
+  for (const auto& n : g.nodes()) {
+    if (backbone_only && n.is_param()) continue;
+    for (NodeId in : n.inputs) {
+      if (backbone_only && g.node(in).is_param()) continue;
+      out << "  n" << in << " -> n" << n.id << ";\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace lp::graph

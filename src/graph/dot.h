@@ -1,0 +1,16 @@
+// Graphviz DOT export for inspecting computation graphs and partitions.
+#pragma once
+
+#include <string>
+
+#include "graph/graph.h"
+
+namespace lp::graph {
+
+/// Renders the graph as Graphviz DOT. When `backbone_only`, Parameter nodes
+/// are omitted. Nodes at backbone positions <= `highlight_cut` are filled,
+/// visualizing a partition point (pass a negative value for none).
+std::string to_dot(const Graph& g, bool backbone_only = true,
+                   std::int64_t highlight_cut = -1);
+
+}  // namespace lp::graph

@@ -1,0 +1,81 @@
+#include "graph/fusion.h"
+
+#include "common/check.h"
+
+namespace lp::graph {
+
+bool is_fusion_anchor(OpType op) {
+  switch (op) {
+    case OpType::kConv:
+    case OpType::kDWConv:
+    case OpType::kMatMul:
+    case OpType::kAdd:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_fusable_epilogue(OpType op) {
+  switch (op) {
+    case OpType::kBiasAdd:
+    case OpType::kBatchNorm:
+    case OpType::kRelu:
+    case OpType::kSigmoid:
+    case OpType::kTanh:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::vector<FusionGroup> fuse_segment(const Graph& g, std::size_t begin,
+                                      std::size_t end) {
+  const auto& order = g.backbone();
+  LP_CHECK(begin >= 1 && begin <= end && end < order.size());
+
+  /// Does `node` consume exactly `prev` among CNodes (weights ignored)?
+  auto consumes_only = [&](NodeId node, NodeId prev) {
+    int data_inputs = 0;
+    bool from_prev = false;
+    for (NodeId in : g.node(node).inputs) {
+      const auto& src = g.node(in);
+      if (!src.is_cnode() && !src.boundary) continue;
+      ++data_inputs;
+      if (in == prev) from_prev = true;
+    }
+    return data_inputs == 1 && from_prev;
+  };
+
+  std::vector<FusionGroup> groups;
+  std::size_t i = begin;
+  while (i <= end) {
+    FusionGroup group;
+    group.nodes.push_back(order[i]);
+    if (is_fusion_anchor(g.node(order[i]).op)) {
+      std::size_t j = i;
+      while (j + 1 <= end) {
+        const NodeId prev = order[j];
+        const NodeId next = order[j + 1];
+        if (!is_fusable_epilogue(g.node(next).op)) break;
+        if (!consumes_only(next, prev)) break;
+        // The intermediate tensor must not escape the fused kernel.
+        if (g.consumers()[static_cast<std::size_t>(prev)].size() != 1)
+          break;
+        group.nodes.push_back(next);
+        ++j;
+      }
+      i = j + 1;
+    } else {
+      ++i;
+    }
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+std::vector<FusionGroup> fuse_groups(const Graph& g) {
+  return fuse_segment(g, 1, g.n());
+}
+
+}  // namespace lp::graph

@@ -1,0 +1,47 @@
+// Fused-layer detection (extension; Section VI).
+//
+// Inference frameworks fuse element-wise epilogues (BiasAdd, BatchNorm,
+// activations) into the producing Conv/DWConv/MatMul kernel. The paper
+// notes (via NN-Meter) that summing single-layer predictions over such
+// fused stacks inflates the estimate, and that its LR methodology extends
+// to fused layers once a detector exists — this is that detector. The
+// fusion-aware execution path and prediction ablation live in hw::GpuModel
+// and bench/ablation_fusion.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace lp::graph {
+
+/// One fused kernel: consecutive backbone positions executed together.
+/// nodes.front() is the anchor (the compute-heavy op); the rest are its
+/// absorbed epilogue in backbone order.
+struct FusionGroup {
+  std::vector<NodeId> nodes;
+
+  NodeId anchor() const { return nodes.front(); }
+  std::size_t size() const { return nodes.size(); }
+};
+
+/// True if `op` can anchor a fusion group.
+bool is_fusion_anchor(OpType op);
+
+/// True if `op` can be absorbed into a preceding anchor's epilogue.
+bool is_fusable_epilogue(OpType op);
+
+/// Greedy fusion over backbone positions [begin, end] (inclusive; pass
+/// 1..n for the whole graph — position 0 is the virtual input):
+/// an anchor absorbs following nodes while (a) the next node is a fusable
+/// epilogue, (b) it consumes exactly the previous node's output, and
+/// (c) the previous node has no other consumers (its tensor never
+/// materializes). Every position lands in exactly one group; non-anchor
+/// nodes that cannot fuse form singleton groups.
+std::vector<FusionGroup> fuse_segment(const Graph& g, std::size_t begin,
+                                      std::size_t end);
+
+/// fuse_segment over the whole backbone.
+std::vector<FusionGroup> fuse_groups(const Graph& g);
+
+}  // namespace lp::graph

@@ -1,0 +1,80 @@
+#include "graph/shape_infer.h"
+
+#include "common/check.h"
+
+namespace lp::graph {
+
+namespace {
+std::int64_t out_extent(std::int64_t in, std::int64_t kernel,
+                        std::int64_t stride, std::int64_t pad,
+                        bool ceil_mode) {
+  const std::int64_t padded = in + 2 * pad;
+  LP_CHECK_MSG(padded >= kernel, "kernel larger than padded input");
+  const std::int64_t span = padded - kernel;
+  std::int64_t out = span / stride + 1;
+  if (ceil_mode && span % stride != 0) {
+    // Ceil rounding adds a final window; it must start inside the
+    // (left-)padded input, which holds whenever pad < stride extra.
+    ++out;
+  }
+  return out;
+}
+}  // namespace
+
+Shape conv_output_shape(const Shape& in, const ConvAttrs& attrs,
+                        bool depthwise) {
+  LP_CHECK_MSG(in.rank() == 4, "conv input must be NCHW");
+  LP_CHECK(attrs.kernel_h > 0 && attrs.kernel_w > 0);
+  LP_CHECK(attrs.stride_h > 0 && attrs.stride_w > 0);
+  const std::int64_t out_c = depthwise ? in.c() : attrs.out_channels;
+  LP_CHECK(out_c > 0);
+  return Shape{in.n(), out_c,
+               out_extent(in.h(), attrs.kernel_h, attrs.stride_h, attrs.pad_h,
+                          false),
+               out_extent(in.w(), attrs.kernel_w, attrs.stride_w, attrs.pad_w,
+                          false)};
+}
+
+Shape pool_output_shape(const Shape& in, const PoolAttrs& attrs) {
+  LP_CHECK_MSG(in.rank() == 4, "pool input must be NCHW");
+  LP_CHECK(attrs.kernel_h > 0 && attrs.kernel_w > 0);
+  LP_CHECK(attrs.stride_h > 0 && attrs.stride_w > 0);
+  return Shape{in.n(), in.c(),
+               out_extent(in.h(), attrs.kernel_h, attrs.stride_h, attrs.pad_h,
+                          attrs.ceil_mode),
+               out_extent(in.w(), attrs.kernel_w, attrs.stride_w, attrs.pad_w,
+                          attrs.ceil_mode)};
+}
+
+Shape matmul_output_shape(const Shape& in, const MatMulAttrs& attrs) {
+  LP_CHECK_MSG(in.rank() == 2, "matmul input must be rank-2 (flatten first)");
+  LP_CHECK(attrs.out_features > 0);
+  return Shape{in.dim(0), attrs.out_features};
+}
+
+Shape concat_output_shape(const std::vector<Shape>& ins, std::int64_t axis) {
+  LP_CHECK(!ins.empty());
+  const auto rank = ins.front().rank();
+  LP_CHECK(axis >= 0 && static_cast<std::size_t>(axis) < rank);
+  std::int64_t axis_total = 0;
+  for (const auto& s : ins) {
+    LP_CHECK_MSG(s.rank() == rank, "concat rank mismatch");
+    for (std::size_t d = 0; d < rank; ++d) {
+      if (static_cast<std::int64_t>(d) == axis) continue;
+      LP_CHECK_MSG(s.dim(d) == ins.front().dim(d), "concat shape mismatch");
+    }
+    axis_total += s.dim(static_cast<std::size_t>(axis));
+  }
+  std::vector<std::int64_t> dims = ins.front().dims();
+  dims[static_cast<std::size_t>(axis)] = axis_total;
+  return Shape(std::move(dims));
+}
+
+Shape flatten_output_shape(const Shape& in) {
+  LP_CHECK(in.rank() >= 2);
+  std::int64_t rest = 1;
+  for (std::size_t d = 1; d < in.rank(); ++d) rest *= in.dim(d);
+  return Shape{in.dim(0), rest};
+}
+
+}  // namespace lp::graph

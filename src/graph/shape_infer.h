@@ -1,0 +1,27 @@
+// Output-shape inference for each operator kind.
+#pragma once
+
+#include "graph/attrs.h"
+#include "tensor/shape.h"
+
+#include <vector>
+
+namespace lp::graph {
+
+/// Conv/DWConv output shape for an NCHW input.
+Shape conv_output_shape(const Shape& in, const ConvAttrs& attrs,
+                        bool depthwise);
+
+/// Pooling output shape for an NCHW input (floor or ceil rounding).
+Shape pool_output_shape(const Shape& in, const PoolAttrs& attrs);
+
+/// MatMul output shape for a rank-2 input.
+Shape matmul_output_shape(const Shape& in, const MatMulAttrs& attrs);
+
+/// Concat along `axis`; all other axes must agree.
+Shape concat_output_shape(const std::vector<Shape>& ins, std::int64_t axis);
+
+/// Flatten to rank-2: N x (product of the rest).
+Shape flatten_output_shape(const Shape& in);
+
+}  // namespace lp::graph

@@ -1,0 +1,106 @@
+#include "hw/cpu_model.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace lp::hw {
+
+namespace {
+using flops::ModelKind;
+using flops::NodeConfig;
+
+/// Weight elements a node reads (conv filters, FC matrix, BN params...).
+std::int64_t weight_elements(const NodeConfig& cfg) {
+  using graph::OpType;
+  switch (cfg.op) {
+    case OpType::kConv:
+      return cfg.out.c() * cfg.in.c() * cfg.kernel_h * cfg.kernel_w;
+    case OpType::kDWConv:
+      return cfg.in.c() * cfg.kernel_h * cfg.kernel_w;
+    case OpType::kMatMul:
+      return cfg.in.dim(1) * cfg.out.dim(1);
+    case OpType::kBiasAdd:
+      return cfg.out.rank() >= 2 ? cfg.out.dim(1) : 0;
+    case OpType::kBatchNorm:
+      return 4 * cfg.in.c();
+    default:
+      return 0;
+  }
+}
+}  // namespace
+
+std::int64_t node_memory_bytes(const flops::NodeConfig& cfg) {
+  constexpr std::int64_t kElem = 4;  // float32
+  return (cfg.in.elements() + cfg.out.elements() + weight_elements(cfg)) *
+         kElem;
+}
+
+DurationNs CpuModel::node_time(const flops::NodeConfig& cfg) const {
+  const auto kind = flops::model_kind(cfg.op);
+  if (kind == ModelKind::kNone) {
+    // Concat / Flatten still move memory through the framework.
+    if (cfg.op == graph::OpType::kConcat ||
+        cfg.op == graph::OpType::kFlatten) {
+      const double mem_s =
+          static_cast<double>(2 * cfg.out.elements() * 4) /
+          params_.mem_bytes_per_sec;
+      return seconds(mem_s + params_.node_overhead_sec);
+    }
+    return 0;
+  }
+
+  const auto f = static_cast<double>(flops::flops_of(cfg));
+  double compute_s = 0.0;
+  switch (kind) {
+    case ModelKind::kConv: {
+      // Few-input-channel convs (e.g. the RGB stem) vectorize poorly, and
+      // very large kernels spill the register tile.
+      double eff = 1.0 / (1.0 + 0.6 * std::exp(-static_cast<double>(
+                                          cfg.in.c()) /
+                                      8.0));
+      eff /= 1.0 + 0.015 * static_cast<double>(
+                               std::max<std::int64_t>(0, cfg.kernel_h - 3));
+      compute_s = f / (params_.conv_mac_per_sec * eff);
+      break;
+    }
+    case ModelKind::kDWConv:
+      compute_s = f / params_.dwconv_mac_per_sec;
+      break;
+    case ModelKind::kMatMul:
+      compute_s = f / params_.matmul_mac_per_sec;
+      break;
+    case ModelKind::kMaxPool:
+    case ModelKind::kAvgPool:
+      compute_s = f / params_.pool_elems_per_sec;
+      break;
+    default:
+      // Element-wise family: one pass over the tensor; compute is free
+      // relative to memory.
+      compute_s = 0.0;
+      break;
+  }
+
+  const double mem_s = static_cast<double>(node_memory_bytes(cfg)) /
+                       params_.mem_bytes_per_sec;
+  // Compute and memory partially overlap on the in-order A72; take the
+  // dominant term plus a fraction of the other.
+  const double body_s =
+      std::max(compute_s, mem_s) + 0.3 * std::min(compute_s, mem_s);
+  return seconds(body_s + params_.node_overhead_sec);
+}
+
+DurationNs CpuModel::segment_time(const graph::Graph& g, std::size_t begin,
+                                  std::size_t end) const {
+  LP_CHECK(begin <= end && end < g.backbone().size());
+  DurationNs total = 0;
+  for (std::size_t i = std::max<std::size_t>(begin, 1); i <= end; ++i)
+    total += node_time(flops::config_of(g, g.backbone()[i]));
+  return total;
+}
+
+DurationNs CpuModel::graph_time(const graph::Graph& g) const {
+  return segment_time(g, 0, g.backbone().size() - 1);
+}
+
+}  // namespace lp::hw

@@ -1,0 +1,55 @@
+// Device-side energy model (extension).
+//
+// Neurosurgeon — the system LoADPart builds on — optimizes energy as well
+// as latency; the paper drops the energy objective. This model restores
+// it for analysis: per-inference device energy = CPU-active compute energy
+// + radio energy during transfers (per-byte plus radio-on power) + idle
+// draw while waiting for the server. Constants bracket a Raspberry Pi 4
+// with on-board WiFi.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace lp::hw {
+
+struct EnergyParams {
+  double compute_watts = 5.0;      // package power while inferring
+  double idle_watts = 2.3;         // baseline while awaiting the server
+  double radio_watts = 0.9;        // extra draw while the radio is busy
+  double tx_joules_per_byte = 60e-9;
+  double rx_joules_per_byte = 25e-9;
+};
+
+class EnergyModel {
+ public:
+  explicit EnergyModel(EnergyParams params = {}) : params_(params) {}
+
+  const EnergyParams& params() const { return params_; }
+
+  /// Energy of `sec` of device compute.
+  double compute_joules(double sec) const {
+    return params_.compute_watts * sec;
+  }
+
+  /// Energy of waiting `sec` for the server (device idles).
+  double wait_joules(double sec) const { return params_.idle_watts * sec; }
+
+  /// Energy of an uplink transfer.
+  double tx_joules(std::int64_t bytes, double sec) const {
+    return params_.radio_watts * sec +
+           params_.tx_joules_per_byte * static_cast<double>(bytes);
+  }
+
+  /// Energy of a downlink transfer.
+  double rx_joules(std::int64_t bytes, double sec) const {
+    return params_.radio_watts * sec +
+           params_.rx_joules_per_byte * static_cast<double>(bytes);
+  }
+
+ private:
+  EnergyParams params_;
+};
+
+}  // namespace lp::hw

@@ -1,0 +1,97 @@
+#include "hw/gpu_scheduler.h"
+
+#include "common/check.h"
+
+namespace lp::hw {
+
+GpuScheduler::GpuScheduler(sim::Simulator& sim, GpuSchedulerParams params)
+    : sim_(&sim), params_(params), work_arrived_(sim) {
+  sim_->spawn(engine());
+}
+
+GpuScheduler::ContextId GpuScheduler::create_context(std::string name) {
+  contexts_.push_back(Context{std::move(name), {}});
+  return static_cast<ContextId>(contexts_.size()) - 1;
+}
+
+bool GpuScheduler::any_work() const {
+  for (const auto& ctx : contexts_)
+    if (!ctx.jobs.empty()) return true;
+  return false;
+}
+
+int GpuScheduler::next_context_with_work(int after) const {
+  const int n = static_cast<int>(contexts_.size());
+  for (int step = 1; step <= n; ++step) {
+    const int c = (after + step) % n;
+    if (!contexts_[static_cast<std::size_t>(c)].jobs.empty()) return c;
+  }
+  return -1;
+}
+
+std::size_t GpuScheduler::pending_kernels() const {
+  std::size_t total = 0;
+  for (const auto& ctx : contexts_)
+    for (const auto& job : ctx.jobs) total += job.kernels.size() - job.next;
+  return total;
+}
+
+sim::Task GpuScheduler::run_job(ContextId ctx,
+                                std::vector<DurationNs> kernels) {
+  LP_CHECK(ctx >= 0 && static_cast<std::size_t>(ctx) < contexts_.size());
+  LP_CHECK_MSG(!kernels.empty(), "job must contain at least one kernel");
+  return run_job_impl(ctx, std::move(kernels));
+}
+
+sim::Task GpuScheduler::run_job_impl(ContextId ctx,
+                                     std::vector<DurationNs> kernels) {
+  sim::Event done(*sim_);
+  contexts_[static_cast<std::size_t>(ctx)].jobs.push_back(
+      Job{std::move(kernels), 0, &done});
+  work_arrived_.trigger();
+  co_await done.wait();
+}
+
+sim::Task GpuScheduler::engine() {
+  for (;;) {
+    while (!any_work()) {
+      work_arrived_.reset();
+      co_await work_arrived_.wait();
+    }
+    const int c = next_context_with_work(rr_cursor_);
+    LP_CHECK(c >= 0);
+    const bool switched = c != rr_cursor_;
+    rr_cursor_ = c;
+    if (switched && params_.context_switch_sec > 0.0)
+      co_await sim_->delay(seconds(params_.context_switch_sec));
+
+    auto& ctx = contexts_[static_cast<std::size_t>(c)];
+    const DurationNs slice = seconds(params_.time_slice_sec);
+    DurationNs used = 0;
+    // Run kernels from this context until the slice is consumed or it runs
+    // dry. Kernels are non-preemptive: the last one may overrun the slice.
+    while (!ctx.jobs.empty() && used < slice) {
+      Job& job = ctx.jobs.front();
+      const DurationNs k = job.kernels[job.next];
+      co_await sim_->delay(k);
+      busy_ns_ += k;
+      used += k;
+      ++completed_kernels_;
+      if (++job.next == job.kernels.size()) {
+        job.done->trigger();
+        ctx.jobs.pop_front();
+        ++completed_jobs_;
+      }
+    }
+  }
+}
+
+double GpuScheduler::utilization_since(TimeNs since,
+                                       DurationNs busy_at_since) const {
+  const TimeNs now = sim_->now();
+  LP_CHECK(now > since);
+  return static_cast<double>(busy_ns_ - busy_at_since) /
+         static_cast<double>(now - since);
+}
+
+}  // namespace lp::hw

@@ -1,0 +1,80 @@
+// Discrete-event GPU execution engine with time-sliced context scheduling.
+//
+// Semantics (Section III-C of the paper):
+//   * each client (foreground offloading service, background tasks) owns a
+//     context with an in-order kernel stream;
+//   * kernels are non-preemptive: once started they run to completion;
+//   * the scheduler round-robins across contexts with pending work, letting
+//     a context run kernels until it has consumed its time slice (2 ms), so
+//     preemption happens only *between* layers.
+// Consequences the experiments rely on: a single short kernel completes
+// within its slice regardless of load, while a multi-kernel partition is
+// interleaved with background work and its end-to-end time inflates — the
+// paper's influential factor k.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "hw/calibration.h"
+#include "sim/simulator.h"
+
+namespace lp::hw {
+
+class GpuScheduler {
+ public:
+  using ContextId = int;
+
+  GpuScheduler(sim::Simulator& sim, GpuSchedulerParams params = {});
+
+  /// Creates a kernel-stream context (one per client process).
+  ContextId create_context(std::string name);
+
+  /// Runs an in-order job of kernels on a context; the returned task
+  /// completes when the last kernel retires. Must be awaited (the job is
+  /// enqueued when the task starts). Preconditions (valid context,
+  /// non-empty job) are checked eagerly.
+  sim::Task run_job(ContextId ctx, std::vector<DurationNs> kernels);
+
+  /// Cumulative busy time (sum of executed kernel durations).
+  DurationNs busy_ns() const { return busy_ns_; }
+
+  /// Utilization over [since, now]; requires since < now.
+  double utilization_since(TimeNs since, DurationNs busy_at_since) const;
+
+  std::uint64_t completed_kernels() const { return completed_kernels_; }
+  std::uint64_t completed_jobs() const { return completed_jobs_; }
+
+  /// Total kernels currently queued across all contexts.
+  std::size_t pending_kernels() const;
+
+ private:
+  struct Job {
+    std::vector<DurationNs> kernels;
+    std::size_t next = 0;
+    sim::Event* done = nullptr;
+  };
+  struct Context {
+    std::string name;
+    std::deque<Job> jobs;
+  };
+
+  sim::Task run_job_impl(ContextId ctx, std::vector<DurationNs> kernels);
+  sim::Task engine();
+  bool any_work() const;
+  int next_context_with_work(int after) const;
+
+  sim::Simulator* sim_;
+  GpuSchedulerParams params_;
+  std::vector<Context> contexts_;
+  sim::Event work_arrived_;
+  DurationNs busy_ns_ = 0;
+  std::uint64_t completed_kernels_ = 0;
+  std::uint64_t completed_jobs_ = 0;
+  int rr_cursor_ = -1;
+};
+
+}  // namespace lp::hw

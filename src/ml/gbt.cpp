@@ -1,0 +1,167 @@
+#include "ml/gbt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace lp::ml {
+
+namespace {
+
+struct SplitChoice {
+  int feature = -1;
+  double threshold = 0.0;
+  double gain = 0.0;
+};
+
+/// Best variance-reducing split over the candidate rows.
+SplitChoice find_split(const std::vector<std::vector<double>>& x,
+                       const std::vector<double>& grad,
+                       const std::vector<std::size_t>& rows,
+                       std::size_t min_leaf) {
+  SplitChoice best;
+  if (rows.size() < 2 * min_leaf) return best;
+  const std::size_t num_features = x[rows.front()].size();
+
+  double total_sum = 0.0;
+  for (auto r : rows) total_sum += grad[r];
+  const double total_sq =
+      total_sum * total_sum / static_cast<double>(rows.size());
+
+  std::vector<std::size_t> sorted = rows;
+  for (std::size_t f = 0; f < num_features; ++f) {
+    std::sort(sorted.begin(), sorted.end(), [&](std::size_t a, std::size_t b) {
+      return x[a][f] < x[b][f];
+    });
+    double left_sum = 0.0;
+    for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+      left_sum += grad[sorted[i]];
+      const std::size_t left_n = i + 1;
+      const std::size_t right_n = sorted.size() - left_n;
+      if (left_n < min_leaf || right_n < min_leaf) continue;
+      if (x[sorted[i]][f] == x[sorted[i + 1]][f]) continue;
+      const double right_sum = total_sum - left_sum;
+      const double gain = left_sum * left_sum / static_cast<double>(left_n) +
+                          right_sum * right_sum /
+                              static_cast<double>(right_n) -
+                          total_sq;
+      if (gain > best.gain) {
+        best.feature = static_cast<int>(f);
+        best.threshold = 0.5 * (x[sorted[i]][f] + x[sorted[i + 1]][f]);
+        best.gain = gain;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int Gbt::build_node(Tree& tree, const std::vector<std::vector<double>>& x,
+                    const std::vector<double>& grad,
+                    std::vector<std::size_t> rows, int depth,
+                    const GbtParams& params,
+                    std::vector<double>& importance) {
+  const int id = static_cast<int>(tree.size());
+  tree.push_back({});
+  double mean = 0.0;
+  for (auto r : rows) mean += grad[r];
+  mean /= static_cast<double>(rows.size());
+  tree[static_cast<std::size_t>(id)].value = mean;
+
+  if (depth >= params.max_depth) return id;
+  const auto split =
+      find_split(x, grad, rows, params.min_samples_leaf);
+  if (split.feature < 0 || split.gain <= 1e-12) return id;
+
+  importance[static_cast<std::size_t>(split.feature)] += split.gain;
+  std::vector<std::size_t> left_rows, right_rows;
+  for (auto r : rows) {
+    (x[r][static_cast<std::size_t>(split.feature)] <= split.threshold
+         ? left_rows
+         : right_rows)
+        .push_back(r);
+  }
+  const int left =
+      build_node(tree, x, grad, std::move(left_rows), depth + 1, params,
+                 importance);
+  const int right =
+      build_node(tree, x, grad, std::move(right_rows), depth + 1, params,
+                 importance);
+  auto& node = tree[static_cast<std::size_t>(id)];
+  node.feature = split.feature;
+  node.threshold = split.threshold;
+  node.left = left;
+  node.right = right;
+  return id;
+}
+
+double Gbt::tree_predict(const Tree& tree,
+                         const std::vector<double>& features) {
+  int id = 0;
+  while (tree[static_cast<std::size_t>(id)].feature >= 0) {
+    const auto& node = tree[static_cast<std::size_t>(id)];
+    id = features[static_cast<std::size_t>(node.feature)] <= node.threshold
+             ? node.left
+             : node.right;
+  }
+  return tree[static_cast<std::size_t>(id)].value;
+}
+
+Gbt Gbt::fit(const std::vector<std::vector<double>>& x,
+             const std::vector<double>& y, const GbtParams& params) {
+  LP_CHECK(!x.empty() && x.size() == y.size());
+  const std::size_t num_features = x.front().size();
+  Gbt model;
+  model.learning_rate_ = params.learning_rate;
+  model.importance_.assign(num_features, 0.0);
+  model.base_ =
+      std::accumulate(y.begin(), y.end(), 0.0) / static_cast<double>(y.size());
+
+  std::vector<double> residual(y.size());
+  std::vector<double> current(y.size(), model.base_);
+  Rng rng(params.seed);
+
+  for (int t = 0; t < params.num_trees; ++t) {
+    for (std::size_t i = 0; i < y.size(); ++i)
+      residual[i] = y[i] - current[i];
+    std::vector<std::size_t> rows;
+    for (std::size_t i = 0; i < y.size(); ++i)
+      if (rng.uniform() < params.subsample) rows.push_back(i);
+    if (rows.size() < 2 * params.min_samples_leaf) {
+      rows.resize(y.size());
+      std::iota(rows.begin(), rows.end(), 0);
+    }
+    Tree tree;
+    build_node(tree, x, residual, std::move(rows), 0, params,
+               model.importance_);
+    for (std::size_t i = 0; i < y.size(); ++i)
+      current[i] += params.learning_rate * tree_predict(tree, x[i]);
+    model.trees_.push_back(std::move(tree));
+  }
+
+  const double total = std::accumulate(model.importance_.begin(),
+                                       model.importance_.end(), 0.0);
+  if (total > 0.0)
+    for (auto& v : model.importance_) v /= total;
+  return model;
+}
+
+double Gbt::predict(const std::vector<double>& features) const {
+  double out = base_;
+  for (const auto& tree : trees_)
+    out += learning_rate_ * tree_predict(tree, features);
+  return out;
+}
+
+std::vector<double> Gbt::predict_all(
+    const std::vector<std::vector<double>>& x) const {
+  std::vector<double> out;
+  out.reserve(x.size());
+  for (const auto& row : x) out.push_back(predict(row));
+  return out;
+}
+
+}  // namespace lp::ml

@@ -1,0 +1,66 @@
+// Gradient-boosted regression trees with gain-based feature importance.
+//
+// Stands in for XGBoost in the paper's offline feature-selection step
+// (Section III-B): candidate features are scored by their accumulated split
+// gain and the top-scoring ones become the LR model inputs of Table II.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace lp::ml {
+
+struct GbtParams {
+  int num_trees = 50;
+  int max_depth = 4;
+  double learning_rate = 0.1;
+  std::size_t min_samples_leaf = 5;
+  double subsample = 0.8;  ///< row subsampling fraction per tree
+  std::uint64_t seed = 7;
+};
+
+class Gbt {
+ public:
+  /// Fits on rows of features x and targets y (equal, non-zero length).
+  static Gbt fit(const std::vector<std::vector<double>>& x,
+                 const std::vector<double>& y, const GbtParams& params = {});
+
+  double predict(const std::vector<double>& features) const;
+  std::vector<double> predict_all(
+      const std::vector<std::vector<double>>& x) const;
+
+  /// Total split gain accumulated per feature, normalized to sum to 1
+  /// (all-zero when no splits were made).
+  const std::vector<double>& feature_importance() const {
+    return importance_;
+  }
+
+  int num_trees() const { return static_cast<int>(trees_.size()); }
+
+ private:
+  struct TreeNode {
+    int feature = -1;       // -1 for leaves
+    double threshold = 0.0;
+    double value = 0.0;     // leaf prediction
+    int left = -1;
+    int right = -1;
+  };
+  using Tree = std::vector<TreeNode>;
+
+  static int build_node(Tree& tree, const std::vector<std::vector<double>>& x,
+                        const std::vector<double>& grad,
+                        std::vector<std::size_t> rows, int depth,
+                        const GbtParams& params,
+                        std::vector<double>& importance);
+  static double tree_predict(const Tree& tree,
+                             const std::vector<double>& features);
+
+  double base_ = 0.0;
+  double learning_rate_ = 0.1;
+  std::vector<Tree> trees_;
+  std::vector<double> importance_;
+};
+
+}  // namespace lp::ml

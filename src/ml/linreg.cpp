@@ -1,0 +1,37 @@
+#include "ml/linreg.h"
+
+#include "common/check.h"
+#include "ml/nnls.h"
+
+namespace lp::ml {
+
+LinearModel::LinearModel(std::vector<double> coefficients)
+    : coef_(std::move(coefficients)) {
+  for (double c : coef_) LP_CHECK_MSG(c >= 0.0, "coefficients must be >= 0");
+}
+
+LinearModel LinearModel::fit(const std::vector<std::vector<double>>& x,
+                             const std::vector<double>& y) {
+  LP_CHECK(!x.empty() && x.size() == y.size());
+  const Matrix a = Matrix::from_rows(x);
+  auto result = nnls(a, y);
+  return LinearModel(std::move(result.x));
+}
+
+double LinearModel::predict(const std::vector<double>& features) const {
+  LP_CHECK_MSG(features.size() == coef_.size(), "feature width mismatch");
+  double out = 0.0;
+  for (std::size_t i = 0; i < coef_.size(); ++i)
+    out += coef_[i] * features[i];
+  return out;
+}
+
+std::vector<double> LinearModel::predict_all(
+    const std::vector<std::vector<double>>& x) const {
+  std::vector<double> out;
+  out.reserve(x.size());
+  for (const auto& row : x) out.push_back(predict(row));
+  return out;
+}
+
+}  // namespace lp::ml

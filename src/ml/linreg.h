@@ -1,0 +1,32 @@
+// Linear regression with non-negative coefficients and no intercept — the
+// inference-time prediction model family of Section III-B.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ml/matrix.h"
+
+namespace lp::ml {
+
+class LinearModel {
+ public:
+  LinearModel() = default;
+  explicit LinearModel(std::vector<double> coefficients);
+
+  /// Fits by NNLS. X rows are feature vectors, y the targets (same length).
+  static LinearModel fit(const std::vector<std::vector<double>>& x,
+                         const std::vector<double>& y);
+
+  double predict(const std::vector<double>& features) const;
+  std::vector<double> predict_all(
+      const std::vector<std::vector<double>>& x) const;
+
+  const std::vector<double>& coefficients() const { return coef_; }
+  bool trained() const { return !coef_.empty(); }
+
+ private:
+  std::vector<double> coef_;
+};
+
+}  // namespace lp::ml

@@ -1,0 +1,107 @@
+#include "ml/matrix.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace lp::ml {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  LP_CHECK(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  LP_CHECK(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+Matrix Matrix::transpose() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t.at(c, r) = at(r, c);
+  return t;
+}
+
+Matrix Matrix::multiply(const Matrix& other) const {
+  LP_CHECK(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double v = at(r, k);
+      if (v == 0.0) continue;
+      for (std::size_t c = 0; c < other.cols_; ++c)
+        out.at(r, c) += v * other.at(k, c);
+    }
+  return out;
+}
+
+std::vector<double> Matrix::multiply(const std::vector<double>& v) const {
+  LP_CHECK(v.size() == cols_);
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) out[r] += at(r, c) * v[c];
+  return out;
+}
+
+Matrix Matrix::from_rows(const std::vector<std::vector<double>>& rows) {
+  LP_CHECK(!rows.empty() && !rows.front().empty());
+  Matrix m(rows.size(), rows.front().size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    LP_CHECK_MSG(rows[r].size() == m.cols(), "ragged rows");
+    for (std::size_t c = 0; c < m.cols(); ++c) m.at(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+std::vector<double> cholesky_solve(Matrix a, std::vector<double> b) {
+  const std::size_t n = a.rows();
+  LP_CHECK(a.cols() == n && b.size() == n);
+  // Ridge scaled to the diagonal magnitude keeps near-singular systems
+  // solvable without visibly biasing well-conditioned ones.
+  double diag_max = 0.0;
+  for (std::size_t i = 0; i < n; ++i)
+    diag_max = std::max(diag_max, std::abs(a.at(i, i)));
+  const double ridge = diag_max * 1e-10 + 1e-12;
+  for (std::size_t i = 0; i < n; ++i) a.at(i, i) += ridge;
+
+  // In-place Cholesky: a becomes L (lower triangular).
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = a.at(j, j);
+    for (std::size_t k = 0; k < j; ++k) d -= a.at(j, k) * a.at(j, k);
+    LP_CHECK_MSG(d > 0.0, "matrix not positive definite");
+    a.at(j, j) = std::sqrt(d);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = a.at(i, j);
+      for (std::size_t k = 0; k < j; ++k) s -= a.at(i, k) * a.at(j, k);
+      a.at(i, j) = s / a.at(j, j);
+    }
+  }
+  // Forward substitution L y = b.
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    for (std::size_t k = 0; k < i; ++k) s -= a.at(i, k) * b[k];
+    b[i] = s / a.at(i, i);
+  }
+  // Back substitution L^T x = y.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = b[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) s -= a.at(k, ii) * b[k];
+    b[ii] = s / a.at(ii, ii);
+  }
+  return b;
+}
+
+std::vector<double> least_squares(const Matrix& a,
+                                  const std::vector<double>& b) {
+  LP_CHECK(a.rows() == b.size());
+  const Matrix at = a.transpose();
+  const Matrix ata = at.multiply(a);
+  const std::vector<double> atb = at.multiply(b);
+  return cholesky_solve(ata, atb);
+}
+
+}  // namespace lp::ml

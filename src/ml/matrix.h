@@ -1,0 +1,42 @@
+// Small dense linear algebra for the offline trainer.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace lp::ml {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+
+  Matrix transpose() const;
+  Matrix multiply(const Matrix& other) const;
+  std::vector<double> multiply(const std::vector<double>& v) const;
+
+  /// Builds a matrix from rows (all rows must be equally long, non-empty).
+  static Matrix from_rows(const std::vector<std::vector<double>>& rows);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves the symmetric positive (semi-)definite system A x = b via Cholesky
+/// with a small diagonal ridge for robustness. A must be square and match b.
+std::vector<double> cholesky_solve(Matrix a, std::vector<double> b);
+
+/// Ordinary least squares min ||A x - b||_2 via normal equations.
+std::vector<double> least_squares(const Matrix& a,
+                                  const std::vector<double>& b);
+
+}  // namespace lp::ml

@@ -1,0 +1,34 @@
+#include "ml/metrics.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace lp::ml {
+
+double rmse(const std::vector<double>& truth,
+            const std::vector<double>& predicted) {
+  LP_CHECK(!truth.empty() && truth.size() == predicted.size());
+  double ss = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const double d = truth[i] - predicted[i];
+    ss += d * d;
+  }
+  return std::sqrt(ss / static_cast<double>(truth.size()));
+}
+
+double mape(const std::vector<double>& truth,
+            const std::vector<double>& predicted) {
+  LP_CHECK(!truth.empty() && truth.size() == predicted.size());
+  double total = 0.0;
+  std::size_t used = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] == 0.0) continue;
+    total += std::abs((truth[i] - predicted[i]) / truth[i]);
+    ++used;
+  }
+  LP_CHECK_MSG(used > 0, "all truths are zero");
+  return total / static_cast<double>(used);
+}
+
+}  // namespace lp::ml

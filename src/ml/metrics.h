@@ -1,0 +1,17 @@
+// Regression metrics reported in Table III.
+#pragma once
+
+#include <vector>
+
+namespace lp::ml {
+
+/// Rooted mean squared error; inputs must be equally sized and non-empty.
+double rmse(const std::vector<double>& truth,
+            const std::vector<double>& predicted);
+
+/// Mean absolute percentage error in [0, inf), as a fraction (0.05 = 5%).
+/// Zero-valued truths are skipped (they would divide by zero).
+double mape(const std::vector<double>& truth,
+            const std::vector<double>& predicted);
+
+}  // namespace lp::ml

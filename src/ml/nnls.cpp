@@ -1,0 +1,120 @@
+#include "ml/nnls.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace lp::ml {
+
+NnlsResult nnls(const Matrix& a_in, const std::vector<double>& b) {
+  const std::size_t m = a_in.rows();
+  const std::size_t n = a_in.cols();
+  LP_CHECK(b.size() == m);
+
+  // Normalize columns to unit 2-norm; coefficients are rescaled at the end.
+  std::vector<double> col_scale(n, 1.0);
+  Matrix a = a_in;
+  for (std::size_t c = 0; c < n; ++c) {
+    double norm = 0.0;
+    for (std::size_t r = 0; r < m; ++r) norm += a.at(r, c) * a.at(r, c);
+    norm = std::sqrt(norm);
+    if (norm > 0.0) {
+      col_scale[c] = norm;
+      for (std::size_t r = 0; r < m; ++r) a.at(r, c) /= norm;
+    }
+  }
+
+  std::vector<bool> passive(n, false);
+  std::vector<double> x(n, 0.0);
+
+  auto residual_vec = [&](const std::vector<double>& xv) {
+    std::vector<double> r = b;
+    for (std::size_t row = 0; row < m; ++row)
+      for (std::size_t c = 0; c < n; ++c) r[row] -= a.at(row, c) * xv[c];
+    return r;
+  };
+
+  // Least squares restricted to the passive set; zeros elsewhere.
+  auto solve_passive = [&]() {
+    std::vector<std::size_t> idx;
+    for (std::size_t c = 0; c < n; ++c)
+      if (passive[c]) idx.push_back(c);
+    std::vector<double> z(n, 0.0);
+    if (idx.empty()) return z;
+    Matrix sub(m, idx.size());
+    for (std::size_t r = 0; r < m; ++r)
+      for (std::size_t j = 0; j < idx.size(); ++j)
+        sub.at(r, j) = a.at(r, idx[j]);
+    const auto sol = least_squares(sub, b);
+    for (std::size_t j = 0; j < idx.size(); ++j) z[idx[j]] = sol[j];
+    return z;
+  };
+
+  constexpr double kTol = 1e-10;
+  const int max_iter = static_cast<int>(3 * n) + 30;
+  NnlsResult result;
+
+  for (int iter = 0; iter < max_iter; ++iter) {
+    result.iterations = iter;
+    // Gradient w = A^T (b - A x); pick the most positive inactive component.
+    const auto r = residual_vec(x);
+    double best_w = kTol;
+    std::size_t best_c = n;
+    for (std::size_t c = 0; c < n; ++c) {
+      if (passive[c]) continue;
+      double w = 0.0;
+      for (std::size_t row = 0; row < m; ++row) w += a.at(row, c) * r[row];
+      if (w > best_w) {
+        best_w = w;
+        best_c = c;
+      }
+    }
+    if (best_c == n) break;  // KKT satisfied
+    passive[best_c] = true;
+
+    // Inner loop: retreat until the passive solution is feasible.
+    for (;;) {
+      auto z = solve_passive();
+      bool feasible = true;
+      double alpha = std::numeric_limits<double>::infinity();
+      for (std::size_t c = 0; c < n; ++c) {
+        if (!passive[c] || z[c] > kTol) continue;
+        feasible = false;
+        const double denom = x[c] - z[c];
+        if (denom > 0.0) alpha = std::min(alpha, x[c] / denom);
+      }
+      if (feasible) {
+        x = std::move(z);
+        break;
+      }
+      LP_CHECK(std::isfinite(alpha));
+      for (std::size_t c = 0; c < n; ++c)
+        if (passive[c]) x[c] += alpha * (z[c] - x[c]);
+      for (std::size_t c = 0; c < n; ++c)
+        if (passive[c] && x[c] <= kTol) {
+          x[c] = 0.0;
+          passive[c] = false;
+        }
+    }
+  }
+
+  // Rescale to the original column magnitudes.
+  for (std::size_t c = 0; c < n; ++c)
+    x[c] = col_scale[c] > 0.0 ? x[c] / col_scale[c] : 0.0;
+
+  // Residual against the original matrix.
+  double ss = 0.0;
+  for (std::size_t row = 0; row < m; ++row) {
+    double pred = 0.0;
+    for (std::size_t c = 0; c < n; ++c) pred += a_in.at(row, c) * x[c];
+    const double d = b[row] - pred;
+    ss += d * d;
+  }
+  result.residual = std::sqrt(ss);
+  result.x = std::move(x);
+  return result;
+}
+
+}  // namespace lp::ml

@@ -1,0 +1,26 @@
+// Non-negative least squares (Lawson & Hanson 1974, Algorithm NNLS).
+//
+// The paper trains its LR predictors "by fitting the non-negative least
+// squares to keep all its regression coefficients positive and not fitting
+// the intercept", so a zero feature vector predicts zero time.
+#pragma once
+
+#include <vector>
+
+#include "ml/matrix.h"
+
+namespace lp::ml {
+
+struct NnlsResult {
+  std::vector<double> x;   ///< coefficients, all >= 0
+  double residual = 0.0;   ///< ||A x - b||_2
+  int iterations = 0;
+};
+
+/// Solves min ||A x - b||_2 subject to x >= 0.
+///
+/// Columns are internally normalized for conditioning; the returned
+/// coefficients apply to the original (unnormalized) columns.
+NnlsResult nnls(const Matrix& a, const std::vector<double>& b);
+
+}  // namespace lp::ml

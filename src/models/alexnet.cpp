@@ -1,0 +1,36 @@
+// AlexNet (Krizhevsky et al. 2012), 1x3x224x224 input as in the paper.
+//
+// Backbone order (L1..L27): each conv layer maps to Conv+BiasAdd+ReLU, each
+// FC layer to MatMul+BiasAdd(+ReLU). This reproduces the partition indices
+// the paper reports: p=4 (after MaxPool-1), p=8 (after MaxPool-2), p=19
+// (after Flatten) and p=27 (local inference).
+#include "models/zoo.h"
+
+namespace lp::models {
+
+graph::Graph alexnet(std::int64_t num_classes, std::int64_t batch) {
+  graph::GraphBuilder b("alexnet");
+  auto x = b.input({batch, 3, 224, 224});
+  x = b.conv2d(x, 64, 11, 4, 2, true, "conv1");
+  x = b.relu(x, "relu1");
+  x = b.maxpool(x, 3, 2, 0, false, "maxpool1");  // p=4
+  x = b.conv2d(x, 192, 5, 1, 2, true, "conv2");
+  x = b.relu(x, "relu2");
+  x = b.maxpool(x, 3, 2, 0, false, "maxpool2");  // p=8
+  x = b.conv2d(x, 384, 3, 1, 1, true, "conv3");
+  x = b.relu(x, "relu3");
+  x = b.conv2d(x, 256, 3, 1, 1, true, "conv4");
+  x = b.relu(x, "relu4");
+  x = b.conv2d(x, 256, 3, 1, 1, true, "conv5");
+  x = b.relu(x, "relu5");
+  x = b.maxpool(x, 3, 2, 0, false, "maxpool3");
+  x = b.flatten(x, "flatten");  // p=19
+  x = b.fc(x, 4096, true, "fc1");
+  x = b.relu(x, "relu6");
+  x = b.fc(x, 4096, true, "fc2");
+  x = b.relu(x, "relu7");
+  x = b.fc(x, num_classes, true, "fc3");  // p=27 = n
+  return b.build(x);
+}
+
+}  // namespace lp::models

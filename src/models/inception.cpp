@@ -1,0 +1,121 @@
+// Inception-v3 (Szegedy et al. 2016), 1x3x299x299.
+//
+// Used by the Section III-D analysis: every cut inside an Inception block
+// severs multiple branch tensors, and even the last block's cheapest
+// interior cut (~1.25 MB) exceeds the 1.02 MB input.
+#include "models/zoo.h"
+
+namespace lp::models {
+
+namespace {
+
+using graph::GraphBuilder;
+using graph::NodeId;
+
+/// BasicConv2d: bias-free conv + BatchNorm + ReLU.
+NodeId cbr(GraphBuilder& b, NodeId x, std::int64_t out_c, std::int64_t kh,
+           std::int64_t kw, std::int64_t stride, std::int64_t pad_h,
+           std::int64_t pad_w, const std::string& name) {
+  auto y = b.conv2d_rect(x, out_c, kh, kw, stride, pad_h, pad_w,
+                         /*with_bias=*/false, name);
+  y = b.batchnorm(y, name + ".bn");
+  return b.relu(y, name + ".relu");
+}
+
+NodeId inception_a(GraphBuilder& b, NodeId x, std::int64_t pool_c,
+                   const std::string& name) {
+  auto b1 = cbr(b, x, 64, 1, 1, 1, 0, 0, name + ".b1x1");
+  auto b5 = cbr(b, x, 48, 1, 1, 1, 0, 0, name + ".b5x5_1");
+  b5 = cbr(b, b5, 64, 5, 5, 1, 2, 2, name + ".b5x5_2");
+  auto b3 = cbr(b, x, 64, 1, 1, 1, 0, 0, name + ".b3x3_1");
+  b3 = cbr(b, b3, 96, 3, 3, 1, 1, 1, name + ".b3x3_2");
+  b3 = cbr(b, b3, 96, 3, 3, 1, 1, 1, name + ".b3x3_3");
+  auto bp = b.avgpool(x, 3, 1, 1, name + ".pool");
+  bp = cbr(b, bp, pool_c, 1, 1, 1, 0, 0, name + ".bpool");
+  return b.concat({b1, b5, b3, bp}, name + ".concat");
+}
+
+NodeId reduction_a(GraphBuilder& b, NodeId x, const std::string& name) {
+  auto b3 = cbr(b, x, 384, 3, 3, 2, 0, 0, name + ".b3x3");
+  auto bd = cbr(b, x, 64, 1, 1, 1, 0, 0, name + ".bd_1");
+  bd = cbr(b, bd, 96, 3, 3, 1, 1, 1, name + ".bd_2");
+  bd = cbr(b, bd, 96, 3, 3, 2, 0, 0, name + ".bd_3");
+  auto bp = b.maxpool(x, 3, 2, 0, false, name + ".pool");
+  return b.concat({b3, bd, bp}, name + ".concat");
+}
+
+NodeId inception_c(GraphBuilder& b, NodeId x, std::int64_t c7,
+                   const std::string& name) {
+  auto b1 = cbr(b, x, 192, 1, 1, 1, 0, 0, name + ".b1x1");
+  auto b7 = cbr(b, x, c7, 1, 1, 1, 0, 0, name + ".b7_1");
+  b7 = cbr(b, b7, c7, 1, 7, 1, 0, 3, name + ".b7_2");
+  b7 = cbr(b, b7, 192, 7, 1, 1, 3, 0, name + ".b7_3");
+  auto bd = cbr(b, x, c7, 1, 1, 1, 0, 0, name + ".bd_1");
+  bd = cbr(b, bd, c7, 7, 1, 1, 3, 0, name + ".bd_2");
+  bd = cbr(b, bd, c7, 1, 7, 1, 0, 3, name + ".bd_3");
+  bd = cbr(b, bd, c7, 7, 1, 1, 3, 0, name + ".bd_4");
+  bd = cbr(b, bd, 192, 1, 7, 1, 0, 3, name + ".bd_5");
+  auto bp = b.avgpool(x, 3, 1, 1, name + ".pool");
+  bp = cbr(b, bp, 192, 1, 1, 1, 0, 0, name + ".bpool");
+  return b.concat({b1, b7, bd, bp}, name + ".concat");
+}
+
+NodeId reduction_b(GraphBuilder& b, NodeId x, const std::string& name) {
+  auto b3 = cbr(b, x, 192, 1, 1, 1, 0, 0, name + ".b3_1");
+  b3 = cbr(b, b3, 320, 3, 3, 2, 0, 0, name + ".b3_2");
+  auto b7 = cbr(b, x, 192, 1, 1, 1, 0, 0, name + ".b7_1");
+  b7 = cbr(b, b7, 192, 1, 7, 1, 0, 3, name + ".b7_2");
+  b7 = cbr(b, b7, 192, 7, 1, 1, 3, 0, name + ".b7_3");
+  b7 = cbr(b, b7, 192, 3, 3, 2, 0, 0, name + ".b7_4");
+  auto bp = b.maxpool(x, 3, 2, 0, false, name + ".pool");
+  return b.concat({b3, b7, bp}, name + ".concat");
+}
+
+NodeId inception_e(GraphBuilder& b, NodeId x, const std::string& name) {
+  auto b1 = cbr(b, x, 320, 1, 1, 1, 0, 0, name + ".b1x1");
+  auto b3 = cbr(b, x, 384, 1, 1, 1, 0, 0, name + ".b3_1");
+  auto b3a = cbr(b, b3, 384, 1, 3, 1, 0, 1, name + ".b3_2a");
+  auto b3b = cbr(b, b3, 384, 3, 1, 1, 1, 0, name + ".b3_2b");
+  auto b3c = b.concat({b3a, b3b}, name + ".b3.concat");
+  auto bd = cbr(b, x, 448, 1, 1, 1, 0, 0, name + ".bd_1");
+  bd = cbr(b, bd, 384, 3, 3, 1, 1, 1, name + ".bd_2");
+  auto bda = cbr(b, bd, 384, 1, 3, 1, 0, 1, name + ".bd_3a");
+  auto bdb = cbr(b, bd, 384, 3, 1, 1, 1, 0, name + ".bd_3b");
+  auto bdc = b.concat({bda, bdb}, name + ".bd.concat");
+  auto bp = b.avgpool(x, 3, 1, 1, name + ".pool");
+  bp = cbr(b, bp, 192, 1, 1, 1, 0, 0, name + ".bpool");
+  return b.concat({b1, b3c, bdc, bp}, name + ".concat");
+}
+
+}  // namespace
+
+graph::Graph inception_v3(std::int64_t num_classes, std::int64_t batch) {
+  GraphBuilder b("inception_v3");
+  auto x = b.input({batch, 3, 299, 299});
+  x = cbr(b, x, 32, 3, 3, 2, 0, 0, "stem.conv1");   // 149
+  x = cbr(b, x, 32, 3, 3, 1, 0, 0, "stem.conv2");   // 147
+  x = cbr(b, x, 64, 3, 3, 1, 1, 1, "stem.conv3");   // 147
+  x = b.maxpool(x, 3, 2, 0, false, "stem.pool1");   // 73
+  x = cbr(b, x, 80, 1, 1, 1, 0, 0, "stem.conv4");   // 73
+  x = cbr(b, x, 192, 3, 3, 1, 0, 0, "stem.conv5");  // 71
+  x = b.maxpool(x, 3, 2, 0, false, "stem.pool2");   // 35
+
+  x = inception_a(b, x, 32, "mixed0");
+  x = inception_a(b, x, 64, "mixed1");
+  x = inception_a(b, x, 64, "mixed2");
+  x = reduction_a(b, x, "mixed3");  // 17x17x768
+  x = inception_c(b, x, 128, "mixed4");
+  x = inception_c(b, x, 160, "mixed5");
+  x = inception_c(b, x, 160, "mixed6");
+  x = inception_c(b, x, 192, "mixed7");
+  x = reduction_b(b, x, "mixed8");  // 8x8x1280
+  x = inception_e(b, x, "mixed9");
+  x = inception_e(b, x, "mixed10");
+
+  x = b.global_avgpool(x, "head.avgpool");
+  x = b.flatten(x, "head.flatten");
+  x = b.fc(x, num_classes, true, "head.fc");
+  return b.build(x);
+}
+
+}  // namespace lp::models

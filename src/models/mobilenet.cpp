@@ -1,0 +1,74 @@
+// MobileNetV2 (Sandler et al. 2018), 1x3x224x224.
+//
+// Zoo extension beyond the paper's six: inverted residual blocks (expand
+// 1x1 conv -> depthwise 3x3 -> project 1x1, identity add when stride 1 and
+// widths match) make it the most depthwise-heavy model here, stressing the
+// DWConv predictors of Tables II/III. ReLU6 is modeled as ReLU (identical
+// cost characteristics).
+#include "models/zoo.h"
+
+namespace lp::models {
+
+namespace {
+
+using graph::GraphBuilder;
+using graph::NodeId;
+
+NodeId conv_bn_relu(GraphBuilder& b, NodeId x, std::int64_t out_c,
+                    std::int64_t kernel, std::int64_t stride,
+                    std::int64_t pad, const std::string& name) {
+  auto y = b.conv2d(x, out_c, kernel, stride, pad, /*with_bias=*/false,
+                    name);
+  y = b.batchnorm(y, name + ".bn");
+  return b.relu(y, name + ".relu");
+}
+
+/// Inverted residual: expand (1x1) -> depthwise (3x3) -> project (1x1).
+NodeId inverted_residual(GraphBuilder& b, NodeId x, std::int64_t out_c,
+                         std::int64_t stride, std::int64_t expand_ratio,
+                         const std::string& name) {
+  const std::int64_t in_c = b.desc(x).shape.c();
+  auto y = x;
+  if (expand_ratio != 1)
+    y = conv_bn_relu(b, y, in_c * expand_ratio, 1, 1, 0, name + ".expand");
+  y = b.dwconv2d(y, 3, stride, 1, /*with_bias=*/false, name + ".dw");
+  y = b.batchnorm(y, name + ".dw.bn");
+  y = b.relu(y, name + ".dw.relu");
+  // Projection is linear (no activation).
+  y = b.conv2d(y, out_c, 1, 1, 0, /*with_bias=*/false, name + ".project");
+  y = b.batchnorm(y, name + ".project.bn");
+  if (stride == 1 && in_c == out_c) y = b.add(y, x, name + ".add");
+  return y;
+}
+
+}  // namespace
+
+graph::Graph mobilenet_v2(std::int64_t num_classes, std::int64_t batch) {
+  GraphBuilder b("mobilenet_v2");
+  auto x = b.input({batch, 3, 224, 224});
+  x = conv_bn_relu(b, x, 32, 3, 2, 1, "stem");  // 112
+
+  // (expand_ratio, out_channels, repeats, first_stride)
+  struct StageSpec {
+    std::int64_t t, c, n, s;
+  };
+  const StageSpec stages[] = {{1, 16, 1, 1},  {6, 24, 2, 2},
+                              {6, 32, 3, 2},  {6, 64, 4, 2},
+                              {6, 96, 3, 1},  {6, 160, 3, 2},
+                              {6, 320, 1, 1}};
+  int block = 0;
+  for (const auto& stage : stages) {
+    for (std::int64_t i = 0; i < stage.n; ++i) {
+      x = inverted_residual(b, x, stage.c, i == 0 ? stage.s : 1, stage.t,
+                            "block" + std::to_string(block++));
+    }
+  }
+
+  x = conv_bn_relu(b, x, 1280, 1, 1, 0, "head.conv");
+  x = b.global_avgpool(x, "head.avgpool");
+  x = b.flatten(x, "head.flatten");
+  x = b.fc(x, num_classes, true, "head.fc");
+  return b.build(x);
+}
+
+}  // namespace lp::models

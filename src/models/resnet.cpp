@@ -1,0 +1,101 @@
+// ResNet family (He et al. 2016): ResNet-18 (BasicBlock) and
+// ResNet-50/101/152 (Bottleneck), 1x3x224x224, bias-free convolutions with
+// BatchNorm, residual Adds forming the multi-branch blocks whose interior
+// cuts Section III-D shows are never optimal.
+#include "models/zoo.h"
+
+#include <array>
+
+namespace lp::models {
+
+namespace {
+
+using graph::GraphBuilder;
+using graph::NodeId;
+
+NodeId conv_bn(GraphBuilder& b, NodeId x, std::int64_t out_c,
+               std::int64_t kernel, std::int64_t stride, std::int64_t pad,
+               const std::string& name) {
+  auto y = b.conv2d(x, out_c, kernel, stride, pad, /*with_bias=*/false, name);
+  return b.batchnorm(y, name + ".bn");
+}
+
+NodeId basic_block(GraphBuilder& b, NodeId x, std::int64_t channels,
+                   std::int64_t stride, bool downsample,
+                   const std::string& name) {
+  auto y = conv_bn(b, x, channels, 3, stride, 1, name + ".conv1");
+  y = b.relu(y, name + ".relu1");
+  y = conv_bn(b, y, channels, 3, 1, 1, name + ".conv2");
+  auto identity = x;
+  if (downsample)
+    identity = conv_bn(b, x, channels, 1, stride, 0, name + ".downsample");
+  y = b.add(y, identity, name + ".add");
+  return b.relu(y, name + ".relu2");
+}
+
+NodeId bottleneck(GraphBuilder& b, NodeId x, std::int64_t channels,
+                  std::int64_t stride, bool downsample,
+                  const std::string& name) {
+  const std::int64_t expanded = channels * 4;
+  auto y = conv_bn(b, x, channels, 1, 1, 0, name + ".conv1");
+  y = b.relu(y, name + ".relu1");
+  y = conv_bn(b, y, channels, 3, stride, 1, name + ".conv2");
+  y = b.relu(y, name + ".relu2");
+  y = conv_bn(b, y, expanded, 1, 1, 0, name + ".conv3");
+  auto identity = x;
+  if (downsample)
+    identity = conv_bn(b, x, expanded, 1, stride, 0, name + ".downsample");
+  y = b.add(y, identity, name + ".add");
+  return b.relu(y, name + ".relu3");
+}
+
+graph::Graph resnet(const std::string& name, bool use_bottleneck,
+                    std::array<int, 4> layers, std::int64_t num_classes,
+                    std::int64_t batch) {
+  GraphBuilder b(name);
+  auto x = b.input({batch, 3, 224, 224});
+  x = conv_bn(b, x, 64, 7, 2, 3, "stem.conv");
+  x = b.relu(x, "stem.relu");
+  x = b.maxpool(x, 3, 2, 1, false, "stem.pool");
+
+  const std::array<std::int64_t, 4> widths{64, 128, 256, 512};
+  for (int stage = 0; stage < 4; ++stage) {
+    for (int block = 0; block < layers[static_cast<std::size_t>(stage)];
+         ++block) {
+      const std::int64_t stride = (stage > 0 && block == 0) ? 2 : 1;
+      // The first block of every stage changes channel count (and, except in
+      // stage 0 of bottleneck nets, the spatial extent), so it needs a
+      // projection shortcut.
+      const bool downsample = block == 0 && (use_bottleneck || stage > 0);
+      const std::string bname =
+          "layer" + std::to_string(stage + 1) + "." + std::to_string(block);
+      x = use_bottleneck
+              ? bottleneck(b, x, widths[static_cast<std::size_t>(stage)],
+                           stride, downsample, bname)
+              : basic_block(b, x, widths[static_cast<std::size_t>(stage)],
+                            stride, downsample, bname);
+    }
+  }
+
+  x = b.global_avgpool(x, "head.avgpool");
+  x = b.flatten(x, "head.flatten");
+  x = b.fc(x, num_classes, true, "head.fc");
+  return b.build(x);
+}
+
+}  // namespace
+
+graph::Graph resnet18(std::int64_t num_classes, std::int64_t batch) {
+  return resnet("resnet18", false, {2, 2, 2, 2}, num_classes, batch);
+}
+graph::Graph resnet50(std::int64_t num_classes, std::int64_t batch) {
+  return resnet("resnet50", true, {3, 4, 6, 3}, num_classes, batch);
+}
+graph::Graph resnet101(std::int64_t num_classes, std::int64_t batch) {
+  return resnet("resnet101", true, {3, 4, 23, 3}, num_classes, batch);
+}
+graph::Graph resnet152(std::int64_t num_classes, std::int64_t batch) {
+  return resnet("resnet152", true, {3, 8, 36, 3}, num_classes, batch);
+}
+
+}  // namespace lp::models

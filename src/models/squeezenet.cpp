@@ -1,0 +1,50 @@
+// SqueezeNet 1.0 (Iandola et al. 2016), 1x3x227x227 as in the paper.
+//
+// Fire modules are the multi-branch blocks of Section III-D: a squeeze
+// 1x1 conv feeding parallel expand1x1 / expand3x3 branches joined by a
+// channel Concat.
+#include "models/zoo.h"
+
+namespace lp::models {
+
+namespace {
+
+graph::NodeId fire(graph::GraphBuilder& b, graph::NodeId x,
+                   std::int64_t squeeze_c, std::int64_t expand1_c,
+                   std::int64_t expand3_c, const std::string& name) {
+  auto s = b.conv2d(x, squeeze_c, 1, 1, 0, true, name + ".squeeze");
+  s = b.relu(s, name + ".squeeze.relu");
+  auto e1 = b.conv2d(s, expand1_c, 1, 1, 0, true, name + ".expand1x1");
+  e1 = b.relu(e1, name + ".expand1x1.relu");
+  auto e3 = b.conv2d(s, expand3_c, 3, 1, 1, true, name + ".expand3x3");
+  e3 = b.relu(e3, name + ".expand3x3.relu");
+  return b.concat({e1, e3}, name + ".concat");
+}
+
+}  // namespace
+
+graph::Graph squeezenet(std::int64_t num_classes, std::int64_t batch) {
+  graph::GraphBuilder b("squeezenet");
+  auto x = b.input({batch, 3, 227, 227});
+  x = b.conv2d(x, 96, 7, 2, 0, true, "conv1");
+  x = b.relu(x, "conv1.relu");
+  x = b.maxpool(x, 3, 2, 0, true, "maxpool1");
+  x = fire(b, x, 16, 64, 64, "fire2");
+  x = fire(b, x, 16, 64, 64, "fire3");
+  x = fire(b, x, 32, 128, 128, "fire4");
+  x = b.maxpool(x, 3, 2, 0, true, "maxpool4");
+  x = fire(b, x, 32, 128, 128, "fire5");
+  x = fire(b, x, 48, 192, 192, "fire6");
+  x = fire(b, x, 48, 192, 192, "fire7");
+  x = fire(b, x, 64, 256, 256, "fire8");
+  x = b.maxpool(x, 3, 2, 0, true, "maxpool8");
+  x = fire(b, x, 64, 256, 256, "fire9");
+  x = b.conv2d(x, num_classes, 1, 1, 0, true, "conv10");
+  x = b.relu(x, "conv10.relu");
+  x = b.global_avgpool(x, "avgpool");
+  x = b.flatten(x, "flatten");
+  x = b.softmax(x, "softmax");
+  return b.build(x);
+}
+
+}  // namespace lp::models

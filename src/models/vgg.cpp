@@ -1,0 +1,38 @@
+// VGG16 (Simonyan & Zisserman 2015), configuration D, 1x3x224x224.
+#include "models/zoo.h"
+
+namespace lp::models {
+
+graph::Graph vgg16(std::int64_t num_classes, std::int64_t batch) {
+  graph::GraphBuilder b("vgg16");
+  auto x = b.input({batch, 3, 224, 224});
+
+  int conv_idx = 1;
+  auto conv_block = [&](graph::NodeId in, std::int64_t channels,
+                        int convs) {
+    auto y = in;
+    for (int i = 0; i < convs; ++i) {
+      const std::string name = "conv" + std::to_string(conv_idx++);
+      y = b.conv2d(y, channels, 3, 1, 1, true, name);
+      y = b.relu(y, name + ".relu");
+    }
+    return b.maxpool(y, 2, 2, 0, false,
+                     "pool" + std::to_string(conv_idx - 1));
+  };
+
+  x = conv_block(x, 64, 2);
+  x = conv_block(x, 128, 2);
+  x = conv_block(x, 256, 3);
+  x = conv_block(x, 512, 3);
+  x = conv_block(x, 512, 3);
+
+  x = b.flatten(x, "flatten");
+  x = b.fc(x, 4096, true, "fc1");
+  x = b.relu(x, "fc1.relu");
+  x = b.fc(x, 4096, true, "fc2");
+  x = b.relu(x, "fc2.relu");
+  x = b.fc(x, num_classes, true, "fc3");
+  return b.build(x);
+}
+
+}  // namespace lp::models

@@ -1,0 +1,88 @@
+// Xception (Chollet 2017), 1x3x299x299 as in the paper.
+//
+// Separable convolutions map to DWConv + pointwise Conv computation nodes —
+// the depth-wise node kind the paper models separately in Tables I/II.
+#include "models/zoo.h"
+
+namespace lp::models {
+
+namespace {
+
+using graph::GraphBuilder;
+using graph::NodeId;
+
+/// Separable conv: depthwise 3x3 (pad 1) + pointwise 1x1, both bias-free
+/// (a BatchNorm always follows).
+NodeId sep_conv(GraphBuilder& b, NodeId x, std::int64_t out_c,
+                const std::string& name) {
+  auto y = b.dwconv2d(x, 3, 1, 1, /*with_bias=*/false, name + ".dw");
+  return b.conv2d(y, out_c, 1, 1, 0, /*with_bias=*/false, name + ".pw");
+}
+
+/// Entry/exit-flow block: [relu] sep(bn) relu sep(bn) maxpool, with a
+/// strided 1x1 projection skip joined by Add.
+NodeId entry_block(GraphBuilder& b, NodeId x, std::int64_t c1,
+                   std::int64_t c2, bool leading_relu,
+                   const std::string& name) {
+  auto y = x;
+  if (leading_relu) y = b.relu(y, name + ".relu1");
+  y = sep_conv(b, y, c1, name + ".sep1");
+  y = b.batchnorm(y, name + ".bn1");
+  y = b.relu(y, name + ".relu2");
+  y = sep_conv(b, y, c2, name + ".sep2");
+  y = b.batchnorm(y, name + ".bn2");
+  y = b.maxpool(y, 3, 2, 1, false, name + ".pool");
+  auto skip = b.conv2d(x, c2, 1, 2, 0, /*with_bias=*/false, name + ".skip");
+  skip = b.batchnorm(skip, name + ".skip.bn");
+  return b.add(y, skip, name + ".add");
+}
+
+/// Middle-flow block: three (relu, sep728, bn) with identity residual.
+NodeId middle_block(GraphBuilder& b, NodeId x, const std::string& name) {
+  auto y = x;
+  for (int i = 1; i <= 3; ++i) {
+    const std::string stage = name + ".s" + std::to_string(i);
+    y = b.relu(y, stage + ".relu");
+    y = sep_conv(b, y, 728, stage + ".sep");
+    y = b.batchnorm(y, stage + ".bn");
+  }
+  return b.add(y, x, name + ".add");
+}
+
+}  // namespace
+
+graph::Graph xception(std::int64_t num_classes, std::int64_t batch) {
+  GraphBuilder b("xception");
+  auto x = b.input({batch, 3, 299, 299});
+
+  // Entry flow stem.
+  x = b.conv2d(x, 32, 3, 2, 0, /*with_bias=*/false, "stem.conv1");
+  x = b.batchnorm(x, "stem.bn1");
+  x = b.relu(x, "stem.relu1");
+  x = b.conv2d(x, 64, 3, 1, 0, /*with_bias=*/false, "stem.conv2");
+  x = b.batchnorm(x, "stem.bn2");
+  x = b.relu(x, "stem.relu2");
+
+  x = entry_block(b, x, 128, 128, /*leading_relu=*/false, "entry1");
+  x = entry_block(b, x, 256, 256, /*leading_relu=*/true, "entry2");
+  x = entry_block(b, x, 728, 728, /*leading_relu=*/true, "entry3");
+
+  for (int i = 1; i <= 8; ++i)
+    x = middle_block(b, x, "middle" + std::to_string(i));
+
+  // Exit flow.
+  x = entry_block(b, x, 728, 1024, /*leading_relu=*/true, "exit1");
+  x = sep_conv(b, x, 1536, "exit.sep1");
+  x = b.batchnorm(x, "exit.bn1");
+  x = b.relu(x, "exit.relu1");
+  x = sep_conv(b, x, 2048, "exit.sep2");
+  x = b.batchnorm(x, "exit.bn2");
+  x = b.relu(x, "exit.relu2");
+
+  x = b.global_avgpool(x, "head.avgpool");
+  x = b.flatten(x, "head.flatten");
+  x = b.fc(x, num_classes, true, "head.fc");
+  return b.build(x);
+}
+
+}  // namespace lp::models

@@ -1,0 +1,32 @@
+#include "models/zoo.h"
+
+#include "common/check.h"
+
+namespace lp::models {
+
+std::vector<std::string> zoo_names() {
+  return {"alexnet",   "vgg16",     "resnet18", "resnet50",  "resnet101",
+          "resnet152", "squeezenet", "xception", "inception_v3", "mobilenet_v2"};
+}
+
+std::vector<std::string> evaluation_names() {
+  return {"alexnet", "squeezenet", "vgg16", "resnet18", "resnet50",
+          "xception"};
+}
+
+graph::Graph make_model(const std::string& name) {
+  if (name == "alexnet") return alexnet();
+  if (name == "vgg16") return vgg16();
+  if (name == "resnet18") return resnet18();
+  if (name == "resnet50") return resnet50();
+  if (name == "resnet101") return resnet101();
+  if (name == "resnet152") return resnet152();
+  if (name == "squeezenet") return squeezenet();
+  if (name == "xception") return xception();
+  if (name == "inception_v3") return inception_v3();
+  if (name == "mobilenet_v2") return mobilenet_v2();
+  LP_CHECK_MSG(false, "unknown model: " + name);
+  return alexnet();  // unreachable
+}
+
+}  // namespace lp::models

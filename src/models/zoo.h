@@ -1,0 +1,48 @@
+// Model zoo: the six DNNs LoADPart evaluates (AlexNet, VGG16, ResNet18,
+// ResNet50, SqueezeNet, Xception) plus ResNet101/152 (Section II motivation
+// and the 100%(h) background workload) and InceptionV3 (Section III-D block
+// analysis). Architectures follow the standard torchvision definitions;
+// BatchNorm-based nets use bias-free convolutions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace lp::models {
+
+graph::Graph alexnet(std::int64_t num_classes = 1000,
+                     std::int64_t batch = 1);
+graph::Graph vgg16(std::int64_t num_classes = 1000,
+                   std::int64_t batch = 1);
+graph::Graph resnet18(std::int64_t num_classes = 1000,
+                      std::int64_t batch = 1);
+graph::Graph resnet50(std::int64_t num_classes = 1000,
+                      std::int64_t batch = 1);
+graph::Graph resnet101(std::int64_t num_classes = 1000,
+                       std::int64_t batch = 1);
+graph::Graph resnet152(std::int64_t num_classes = 1000,
+                       std::int64_t batch = 1);
+graph::Graph squeezenet(std::int64_t num_classes = 1000,
+                        std::int64_t batch = 1);
+graph::Graph xception(std::int64_t num_classes = 1000,
+                      std::int64_t batch = 1);
+graph::Graph inception_v3(std::int64_t num_classes = 1000,
+                          std::int64_t batch = 1);
+
+/// Zoo extension (not in the paper's evaluation): the most depthwise-heavy
+/// architecture here.
+graph::Graph mobilenet_v2(std::int64_t num_classes = 1000,
+                          std::int64_t batch = 1);
+
+/// Names accepted by make_model, in the paper's evaluation order.
+std::vector<std::string> zoo_names();
+
+/// The six models of the paper's evaluation section (Figures 6 and 9).
+std::vector<std::string> evaluation_names();
+
+/// Builds a zoo model by name; throws ContractError for unknown names.
+graph::Graph make_model(const std::string& name);
+
+}  // namespace lp::models

@@ -1,0 +1,63 @@
+#include "net/bandwidth_trace.h"
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace lp::net {
+
+BandwidthTrace::BandwidthTrace(std::vector<Step> steps)
+    : steps_(std::move(steps)) {
+  LP_CHECK(!steps_.empty());
+  for (std::size_t i = 0; i < steps_.size(); ++i) {
+    LP_CHECK(steps_[i].bandwidth > 0.0);
+    if (i) LP_CHECK_MSG(steps_[i].at >= steps_[i - 1].at, "unsorted trace");
+  }
+}
+
+BandwidthTrace BandwidthTrace::constant(BitsPerSec bandwidth) {
+  return BandwidthTrace({{0, bandwidth}});
+}
+
+BandwidthTrace BandwidthTrace::fig6_sweep(DurationNs phase) {
+  const double sequence[] = {8, 4, 2, 1, 2, 4, 8, 16, 32, 64};
+  std::vector<Step> steps;
+  TimeNs t = 0;
+  for (double m : sequence) {
+    steps.push_back({t, mbps(m)});
+    t += phase;
+  }
+  return BandwidthTrace(std::move(steps));
+}
+
+BandwidthTrace BandwidthTrace::gilbert_elliott(DurationNs total,
+                                               BitsPerSec good_bw,
+                                               BitsPerSec bad_bw,
+                                               DurationNs mean_good_dwell,
+                                               DurationNs mean_bad_dwell,
+                                               std::uint64_t seed) {
+  LP_CHECK(total > 0 && good_bw > 0.0 && bad_bw > 0.0);
+  LP_CHECK(mean_good_dwell > 0 && mean_bad_dwell > 0);
+  Rng rng(seed);
+  std::vector<Step> steps;
+  TimeNs t = 0;
+  bool good = true;
+  while (t < total) {
+    steps.push_back({t, good ? good_bw : bad_bw});
+    const double mean =
+        static_cast<double>(good ? mean_good_dwell : mean_bad_dwell);
+    t += static_cast<DurationNs>(rng.exponential(mean));
+    good = !good;
+  }
+  return BandwidthTrace(std::move(steps));
+}
+
+BitsPerSec BandwidthTrace::bandwidth_at(TimeNs t) const {
+  BitsPerSec bw = steps_.front().bandwidth;
+  for (const auto& s : steps_) {
+    if (s.at > t) break;
+    bw = s.bandwidth;
+  }
+  return bw;
+}
+
+}  // namespace lp::net

@@ -1,0 +1,45 @@
+// Piecewise-constant bandwidth schedules driving the simulated WiFi link.
+#pragma once
+
+#include <vector>
+
+#include "common/units.h"
+
+namespace lp::net {
+
+/// Time-indexed bandwidth schedule; bandwidth_at(t) returns the value of the
+/// last step at or before t (the first step's value before that).
+class BandwidthTrace {
+ public:
+  struct Step {
+    TimeNs at;
+    BitsPerSec bandwidth;
+  };
+
+  /// Steps must be non-empty, time-sorted, with positive bandwidths.
+  explicit BandwidthTrace(std::vector<Step> steps);
+
+  static BandwidthTrace constant(BitsPerSec bandwidth);
+
+  /// The Figure 6 schedule: upload bandwidth 8 -> 4 -> 2 -> 1 Mbps, then up
+  /// through 2, 4, 8, 16, 32, 64 Mbps, one phase every `phase` of sim time.
+  static BandwidthTrace fig6_sweep(DurationNs phase);
+
+  /// Two-state Gilbert-Elliott channel: alternating good/bad dwell times
+  /// drawn exponentially with the given means. Models WiFi degradation
+  /// bursts (bad state = congested/interfered link, not a hard
+  /// disconnect). Deterministic given the seed.
+  static BandwidthTrace gilbert_elliott(DurationNs total, BitsPerSec good_bw,
+                                        BitsPerSec bad_bw,
+                                        DurationNs mean_good_dwell,
+                                        DurationNs mean_bad_dwell,
+                                        std::uint64_t seed);
+
+  BitsPerSec bandwidth_at(TimeNs t) const;
+  const std::vector<Step>& steps() const { return steps_; }
+
+ private:
+  std::vector<Step> steps_;
+};
+
+}  // namespace lp::net

@@ -1,0 +1,36 @@
+#include "net/estimator.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace lp::net {
+
+BandwidthEstimator::BandwidthEstimator(std::size_t window, BitsPerSec initial)
+    : window_(window), initial_(initial) {
+  LP_CHECK(initial > 0.0);
+}
+
+void BandwidthEstimator::add_transfer(std::int64_t bytes,
+                                      DurationNs duration) {
+  LP_CHECK(bytes > 0 && duration > 0);
+  add_sample(static_cast<double>(bytes) * 8.0 /
+             to_seconds(duration));
+}
+
+void BandwidthEstimator::add_sample(BitsPerSec bandwidth) {
+  LP_CHECK(bandwidth > 0.0);
+  window_.add(bandwidth);
+}
+
+BitsPerSec BandwidthEstimator::estimate() const {
+  return window_.empty() ? initial_ : window_.mean();
+}
+
+std::int64_t BandwidthEstimator::next_probe_bytes(DurationNs target) const {
+  const double bytes = estimate() / 8.0 * to_seconds(target);
+  return std::clamp<std::int64_t>(static_cast<std::int64_t>(bytes), 1024,
+                                  256 * 1024);
+}
+
+}  // namespace lp::net

@@ -1,0 +1,48 @@
+#include "net/link.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace lp::net {
+
+Link::Link(sim::Simulator& sim, BandwidthTrace up, BandwidthTrace down,
+           DurationNs rtt, std::uint64_t seed)
+    : sim_(&sim),
+      up_(std::move(up)),
+      down_(std::move(down)),
+      rtt_(rtt),
+      rng_(seed) {
+  LP_CHECK(rtt >= 0);
+}
+
+BitsPerSec Link::true_upload_bw() const {
+  return up_.bandwidth_at(sim_->now());
+}
+BitsPerSec Link::true_download_bw() const {
+  return down_.bandwidth_at(sim_->now());
+}
+
+sim::Task Link::transfer(std::int64_t bytes, const BandwidthTrace& trace,
+                         DurationNs* measured) {
+  LP_CHECK(bytes >= 0);
+  const BitsPerSec bw = trace.bandwidth_at(sim_->now());
+  // ~3% multiplicative jitter models MAC-layer variance; clamped so a
+  // transfer can never be instant.
+  const double scale = std::max(0.5, 1.0 + 0.03 * rng_.normal());
+  const DurationNs t =
+      rtt_ / 2 + static_cast<DurationNs>(
+                     static_cast<double>(transfer_time(bytes, bw)) * scale);
+  co_await sim_->delay(t);
+  if (measured != nullptr) *measured = t;
+}
+
+sim::Task Link::upload(std::int64_t bytes, DurationNs* measured) {
+  return transfer(bytes, up_, measured);
+}
+
+sim::Task Link::download(std::int64_t bytes, DurationNs* measured) {
+  return transfer(bytes, down_, measured);
+}
+
+}  // namespace lp::net

@@ -1,0 +1,45 @@
+// Simulated device<->server network link.
+//
+// Transfer time = RTT/2 + bytes / bandwidth(t) with a small lognormal-ish
+// jitter, where bandwidth follows a BandwidthTrace. This is the entire role
+// the WiFi link plays in the paper: the partition algorithm only consumes
+// s_p / B_u (and ignores the download term, Section IV).
+#pragma once
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "net/bandwidth_trace.h"
+#include "sim/simulator.h"
+
+namespace lp::net {
+
+class Link {
+ public:
+  Link(sim::Simulator& sim, BandwidthTrace up, BandwidthTrace down,
+       DurationNs rtt = milliseconds(2), std::uint64_t seed = 11);
+
+  /// Uploads `bytes`; completes after the (jittered) transfer time. If
+  /// `measured` is non-null it receives the actual duration — this is how
+  /// the runtime profiler passively observes bandwidth.
+  sim::Task upload(std::int64_t bytes, DurationNs* measured = nullptr);
+  sim::Task download(std::int64_t bytes, DurationNs* measured = nullptr);
+
+  /// True bandwidths right now (tests / oracle baselines only; the system
+  /// under test must use the estimator instead).
+  BitsPerSec true_upload_bw() const;
+  BitsPerSec true_download_bw() const;
+
+  DurationNs rtt() const { return rtt_; }
+
+ private:
+  sim::Task transfer(std::int64_t bytes, const BandwidthTrace& trace,
+                     DurationNs* measured);
+
+  sim::Simulator* sim_;
+  BandwidthTrace up_;
+  BandwidthTrace down_;
+  DurationNs rtt_;
+  Rng rng_;
+};
+
+}  // namespace lp::net

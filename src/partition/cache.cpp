@@ -1,0 +1,55 @@
+#include "partition/cache.h"
+
+#include "common/check.h"
+
+namespace lp::partition {
+
+PartitionCache::PartitionCache(std::size_t capacity) : capacity_(capacity) {
+  LP_CHECK(capacity > 0);
+}
+
+const PartitionPlan* PartitionCache::find(std::size_t p) {
+  auto it = entries_.find(p);
+  if (it == entries_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.erase(it->second.lru_it);
+  lru_.push_front(p);
+  it->second.lru_it = lru_.begin();
+  return &it->second.plan;
+}
+
+void PartitionCache::insert(PartitionPlan plan) {
+  const std::size_t p = plan.p;
+  auto it = entries_.find(p);
+  if (it != entries_.end()) {
+    it->second.plan = std::move(plan);
+    lru_.erase(it->second.lru_it);
+    lru_.push_front(p);
+    it->second.lru_it = lru_.begin();
+    return;
+  }
+  if (entries_.size() >= capacity_) {
+    const std::size_t victim = lru_.back();
+    lru_.pop_back();
+    entries_.erase(victim);
+    ++evictions_;
+  }
+  lru_.push_front(p);
+  entries_.emplace(p, Entry{std::move(plan), lru_.begin()});
+}
+
+double PartitionCache::hit_rate() const {
+  const auto total = hits_ + misses_;
+  return total == 0 ? 0.0
+                    : static_cast<double>(hits_) / static_cast<double>(total);
+}
+
+void PartitionCache::clear() {
+  entries_.clear();
+  lru_.clear();
+}
+
+}  // namespace lp::partition

@@ -1,0 +1,50 @@
+// Partition cache (Section III-A).
+//
+// Keyed by the partition point p, it stores the partitioned computation
+// graphs and auxiliary structures so repeated requests with the same p skip
+// re-partitioning and runtime preparation — amortizing the overhead to ~1%
+// of inference time over ~100 requests (bench/cache_overhead).
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <unordered_map>
+
+#include "partition/partitioner.h"
+
+namespace lp::partition {
+
+class PartitionCache {
+ public:
+  /// LRU capacity in entries (each entry holds a full partition plan).
+  explicit PartitionCache(std::size_t capacity = 16);
+
+  /// Returns the cached plan for p, refreshing its recency; nullptr on miss.
+  const PartitionPlan* find(std::size_t p);
+
+  /// Inserts (or replaces) the plan for plan.p, evicting the least recently
+  /// used entry if over capacity.
+  void insert(PartitionPlan plan);
+
+  std::size_t size() const { return entries_.size(); }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t evictions() const { return evictions_; }
+  double hit_rate() const;
+
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::list<std::size_t> lru_;  // front = most recent
+  struct Entry {
+    PartitionPlan plan;
+    std::list<std::size_t>::iterator lru_it;
+  };
+  std::unordered_map<std::size_t, Entry> entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace lp::partition

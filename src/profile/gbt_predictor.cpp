@@ -1,0 +1,92 @@
+#include "profile/gbt_predictor.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+#include "ml/metrics.h"
+
+namespace lp::profile {
+
+using flops::Device;
+using flops::ModelKind;
+
+namespace {
+std::size_t kind_index(ModelKind kind) {
+  const auto idx = static_cast<std::size_t>(kind);
+  LP_CHECK(idx < static_cast<std::size_t>(flops::kNumModelKinds));
+  return idx;
+}
+}  // namespace
+
+void GbtPredictor::set_model(ModelKind kind, ml::Gbt model) {
+  models_[kind_index(kind)] = std::move(model);
+}
+
+const ml::Gbt* GbtPredictor::model(ModelKind kind) const {
+  const auto& slot = models_[kind_index(kind)];
+  return slot.has_value() ? &*slot : nullptr;
+}
+
+double GbtPredictor::predict_seconds(const flops::NodeConfig& cfg) const {
+  const auto kind = flops::model_kind(cfg.op);
+  if (kind == ModelKind::kNone) return 0.0;
+  const auto* m = model(kind);
+  if (m == nullptr) return 0.0;
+  // Models are fit on log-time (latency targets span five orders of
+  // magnitude; a squared-loss fit on raw seconds would only care about the
+  // largest layers).
+  return std::exp(m->predict(flops::candidate_features_of(cfg)));
+}
+
+GbtPredictor train_gbt_all(OfflineProfiler& profiler, Device device,
+                           std::vector<TrainReport>* reports,
+                           const ml::GbtParams& params) {
+  GbtPredictor predictor(device);
+  Rng rng(77);
+  for (ModelKind kind : flops::all_model_kinds()) {
+    const auto samples = profiler.profile(kind, device);
+    LP_CHECK(samples.size() >= 10);
+
+    std::vector<std::size_t> order(samples.size());
+    std::iota(order.begin(), order.end(), 0);
+    for (std::size_t i = order.size(); i-- > 1;)
+      std::swap(order[i],
+                order[static_cast<std::size_t>(
+                    rng.uniform_int(0, static_cast<std::int64_t>(i)))]);
+    const std::size_t test_n = samples.size() * 3 / 10;
+
+    std::vector<std::vector<double>> train_x, test_x;
+    std::vector<double> train_y, test_y;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      const auto& s = samples[order[i]];
+      auto feats = flops::candidate_features_of(s.cfg);
+      if (i < test_n) {
+        test_x.push_back(std::move(feats));
+        test_y.push_back(s.seconds);
+      } else {
+        train_x.push_back(std::move(feats));
+        train_y.push_back(std::log(s.seconds));
+      }
+    }
+    auto model = ml::Gbt::fit(train_x, train_y, params);
+    if (reports != nullptr) {
+      std::vector<double> predicted;
+      predicted.reserve(test_x.size());
+      for (const auto& row : test_x)
+        predicted.push_back(std::exp(model.predict(row)));
+      TrainReport report;
+      report.kind = kind;
+      report.device = device;
+      report.rmse_sec = ml::rmse(test_y, predicted);
+      report.mape = ml::mape(test_y, predicted);
+      report.train_n = train_y.size();
+      report.test_n = test_y.size();
+      reports->push_back(report);
+    }
+    predictor.set_model(kind, std::move(model));
+  }
+  return predictor;
+}
+
+}  // namespace lp::profile

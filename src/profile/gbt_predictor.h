@@ -1,0 +1,47 @@
+// Gradient-boosted-tree predictor family (ablation).
+//
+// Related work predicts layer times with heavier learners (NN-Meter's
+// random forests, Habitat's MLPs); the paper argues a user-end device
+// needs the light-weight LR models instead. This alternative predictor
+// trains a GBT per node kind on the *candidate* feature superset so the
+// trade — better conv accuracy vs orders-of-magnitude slower evaluation —
+// can be measured (bench/ablation_predictor_family).
+#pragma once
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "ml/gbt.h"
+#include "profile/offline_profiler.h"
+#include "profile/trainer.h"
+
+namespace lp::profile {
+
+class GbtPredictor {
+ public:
+  explicit GbtPredictor(flops::Device device) : device_(device) {}
+
+  flops::Device device() const { return device_; }
+
+  void set_model(flops::ModelKind kind, ml::Gbt model);
+  const ml::Gbt* model(flops::ModelKind kind) const;
+
+  /// Predicted seconds; 0 for kinds without models (like NodePredictor).
+  double predict_seconds(const flops::NodeConfig& cfg) const;
+
+ private:
+  flops::Device device_;
+  std::array<std::optional<ml::Gbt>,
+             static_cast<std::size_t>(flops::kNumModelKinds)>
+      models_;
+};
+
+/// Profiles every kind and fits a GBT on the candidate features, with the
+/// same train/test split protocol as Trainer. Appends Table-III-style
+/// reports when `reports` is non-null.
+GbtPredictor train_gbt_all(OfflineProfiler& profiler, flops::Device device,
+                           std::vector<TrainReport>* reports = nullptr,
+                           const ml::GbtParams& params = {});
+
+}  // namespace lp::profile

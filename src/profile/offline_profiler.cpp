@@ -1,0 +1,39 @@
+#include "profile/offline_profiler.h"
+
+#include <algorithm>
+
+#include "profile/sampler.h"
+
+namespace lp::profile {
+
+OfflineProfiler::OfflineProfiler(const hw::CpuModel& cpu,
+                                 const hw::GpuModel& gpu,
+                                 ProfilerParams params)
+    : cpu_(&cpu), gpu_(&gpu), params_(params), rng_(params.seed) {}
+
+double OfflineProfiler::measure_once(const flops::NodeConfig& cfg,
+                                     flops::Device device, Rng& rng) const {
+  const DurationNs truth = device == flops::Device::kUser
+                               ? cpu_->node_time(cfg)
+                               : gpu_->kernel_time(cfg);
+  const double scale = std::max(0.5, 1.0 + params_.noise_frac * rng.normal());
+  return to_seconds(truth) * scale;
+}
+
+std::vector<ProfileSample> OfflineProfiler::profile(flops::ModelKind kind,
+                                                    flops::Device device) {
+  std::vector<ProfileSample> samples;
+  samples.reserve(static_cast<std::size_t>(params_.samples_per_kind));
+  for (int i = 0; i < params_.samples_per_kind; ++i) {
+    ProfileSample s;
+    s.cfg = sample_config(kind, rng_);
+    double total = 0.0;
+    for (int r = 0; r < params_.repetitions; ++r)
+      total += measure_once(s.cfg, device, rng_);
+    s.seconds = total / params_.repetitions;
+    samples.push_back(std::move(s));
+  }
+  return samples;
+}
+
+}  // namespace lp::profile

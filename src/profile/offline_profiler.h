@@ -1,0 +1,50 @@
+// Offline profiler (Section III-B, step 1).
+//
+// Samples node configurations, "measures" each on the target hardware model
+// with realistic measurement noise, and averages repetitions — producing
+// the training/testing data for the LR predictors. Measurements happen at
+// zero background load, as in the paper (load is folded in online via k).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "flops/features.h"
+#include "hw/cpu_model.h"
+#include "hw/gpu_model.h"
+
+namespace lp::profile {
+
+struct ProfileSample {
+  flops::NodeConfig cfg;
+  double seconds = 0.0;  ///< mean of repeated noisy measurements
+};
+
+struct ProfilerParams {
+  int samples_per_kind = 400;
+  int repetitions = 3;
+  double noise_frac = 0.05;  ///< per-measurement multiplicative noise
+  std::uint64_t seed = 1234;
+};
+
+class OfflineProfiler {
+ public:
+  OfflineProfiler(const hw::CpuModel& cpu, const hw::GpuModel& gpu,
+                  ProfilerParams params = {});
+
+  /// Profiles `params.samples_per_kind` configurations of one node kind on
+  /// one device.
+  std::vector<ProfileSample> profile(flops::ModelKind kind,
+                                     flops::Device device);
+
+ private:
+  double measure_once(const flops::NodeConfig& cfg, flops::Device device,
+                      Rng& rng) const;
+
+  const hw::CpuModel* cpu_;
+  const hw::GpuModel* gpu_;
+  ProfilerParams params_;
+  Rng rng_;
+};
+
+}  // namespace lp::profile

@@ -1,0 +1,104 @@
+#include "profile/trainer.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+#include "ml/metrics.h"
+
+namespace lp::profile {
+
+using flops::Device;
+using flops::ModelKind;
+
+namespace {
+std::size_t kind_index(ModelKind kind) {
+  const auto idx = static_cast<std::size_t>(kind);
+  LP_CHECK(idx < static_cast<std::size_t>(flops::kNumModelKinds));
+  return idx;
+}
+}  // namespace
+
+void NodePredictor::set_model(ModelKind kind, ml::LinearModel model) {
+  models_[kind_index(kind)] = std::move(model);
+}
+
+const ml::LinearModel* NodePredictor::model(ModelKind kind) const {
+  const auto& slot = models_[kind_index(kind)];
+  return slot.has_value() ? &*slot : nullptr;
+}
+
+double NodePredictor::predict_seconds(const flops::NodeConfig& cfg) const {
+  const auto kind = flops::model_kind(cfg.op);
+  if (kind == ModelKind::kNone) return 0.0;
+  const auto* m = model(kind);
+  if (m == nullptr) return 0.0;
+  return m->predict(flops::features_of(cfg, device_));
+}
+
+bool NodePredictor::complete() const {
+  for (const auto& slot : models_)
+    if (!slot.has_value()) return false;
+  return true;
+}
+
+Trainer::Trainer(double test_fraction, std::uint64_t seed)
+    : test_fraction_(test_fraction), rng_(seed) {
+  LP_CHECK(test_fraction > 0.0 && test_fraction < 1.0);
+}
+
+std::pair<ml::LinearModel, TrainReport> Trainer::train(
+    ModelKind kind, Device device,
+    const std::vector<ProfileSample>& samples) {
+  LP_CHECK(samples.size() >= 10);
+
+  std::vector<std::size_t> order(samples.size());
+  std::iota(order.begin(), order.end(), 0);
+  for (std::size_t i = order.size(); i-- > 1;)
+    std::swap(order[i], order[static_cast<std::size_t>(
+                            rng_.uniform_int(0, static_cast<std::int64_t>(i)))]);
+
+  const auto test_n = std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(samples.size()) *
+                                  test_fraction_));
+  std::vector<std::vector<double>> train_x, test_x;
+  std::vector<double> train_y, test_y;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const auto& s = samples[order[i]];
+    auto feats = flops::features_of(s.cfg, device);
+    if (i < test_n) {
+      test_x.push_back(std::move(feats));
+      test_y.push_back(s.seconds);
+    } else {
+      train_x.push_back(std::move(feats));
+      train_y.push_back(s.seconds);
+    }
+  }
+
+  auto model = ml::LinearModel::fit(train_x, train_y);
+  const auto predicted = model.predict_all(test_x);
+
+  TrainReport report;
+  report.kind = kind;
+  report.device = device;
+  report.rmse_sec = ml::rmse(test_y, predicted);
+  report.mape = ml::mape(test_y, predicted);
+  report.train_n = train_y.size();
+  report.test_n = test_y.size();
+  return {std::move(model), report};
+}
+
+NodePredictor Trainer::train_all(OfflineProfiler& profiler, Device device,
+                                 std::vector<TrainReport>* reports) {
+  NodePredictor predictor(device);
+  for (ModelKind kind : flops::all_model_kinds()) {
+    const auto samples = profiler.profile(kind, device);
+    auto [model, report] = train(kind, device, samples);
+    predictor.set_model(kind, std::move(model));
+    if (reports != nullptr) reports->push_back(report);
+  }
+  LP_CHECK(predictor.complete());
+  return predictor;
+}
+
+}  // namespace lp::profile

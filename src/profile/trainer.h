@@ -1,0 +1,69 @@
+// Training of the inference-time prediction models (Section III-B, step 3)
+// and the resulting per-device predictor bundle (M_user / M_edge).
+#pragma once
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "flops/features.h"
+#include "ml/linreg.h"
+#include "profile/offline_profiler.h"
+
+namespace lp::profile {
+
+/// Held-out evaluation of one trained model — a row of Table III.
+struct TrainReport {
+  flops::ModelKind kind = flops::ModelKind::kNone;
+  flops::Device device = flops::Device::kUser;
+  double rmse_sec = 0.0;
+  double mape = 0.0;  ///< fraction (0.05 = 5%)
+  std::size_t train_n = 0;
+  std::size_t test_n = 0;
+};
+
+/// The trained prediction models of one device: the paper's M_user or
+/// M_edge. predict_seconds returns 0 for node kinds without models, which
+/// Section IV assigns zero cost.
+class NodePredictor {
+ public:
+  explicit NodePredictor(flops::Device device) : device_(device) {}
+
+  flops::Device device() const { return device_; }
+
+  void set_model(flops::ModelKind kind, ml::LinearModel model);
+  const ml::LinearModel* model(flops::ModelKind kind) const;
+
+  double predict_seconds(const flops::NodeConfig& cfg) const;
+
+  /// True once every kind of Table III has a model.
+  bool complete() const;
+
+ private:
+  flops::Device device_;
+  std::array<std::optional<ml::LinearModel>,
+             static_cast<std::size_t>(flops::kNumModelKinds)>
+      models_;
+};
+
+class Trainer {
+ public:
+  explicit Trainer(double test_fraction = 0.3, std::uint64_t seed = 5);
+
+  /// Fits one NNLS model on a train split and evaluates on the held-out
+  /// test split.
+  std::pair<ml::LinearModel, TrainReport> train(
+      flops::ModelKind kind, flops::Device device,
+      const std::vector<ProfileSample>& samples);
+
+  /// Profiles and trains every model kind for `device`. Appends one
+  /// TrainReport per kind to `reports` when non-null.
+  NodePredictor train_all(OfflineProfiler& profiler, flops::Device device,
+                          std::vector<TrainReport>* reports = nullptr);
+
+ private:
+  double test_fraction_;
+  Rng rng_;
+};
+
+}  // namespace lp::profile

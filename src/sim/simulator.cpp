@@ -1,0 +1,64 @@
+#include "sim/simulator.h"
+
+namespace lp::sim {
+
+Simulator::~Simulator() {
+  // Drop pending events without resuming, then destroy root frames; child
+  // frames are destroyed recursively by their owners.
+  while (!queue_.empty()) queue_.pop();
+  for (auto h : roots_) h.destroy();
+}
+
+void Simulator::spawn(Task task) {
+  LP_CHECK(task.valid());
+  auto h = task.release();
+  roots_.push_back(h);
+  queue_.push({now_, seq_++, h, nullptr});
+}
+
+void Simulator::call_after(DurationNs delay, std::function<void()> fn) {
+  LP_CHECK(delay >= 0);
+  queue_.push({now_ + delay, seq_++, {}, std::move(fn)});
+}
+
+void Simulator::schedule_handle(TimeNs t, std::coroutine_handle<> h) {
+  LP_CHECK(t >= now_);
+  queue_.push({t, seq_++, h, nullptr});
+}
+
+void Simulator::step(Entry e) {
+  now_ = e.time;
+  ++executed_;
+  if (e.handle) {
+    if (!e.handle.done()) e.handle.resume();
+  } else {
+    e.fn();
+  }
+}
+
+TimeNs Simulator::run() {
+  while (!queue_.empty()) {
+    Entry e = queue_.top();
+    queue_.pop();
+    step(std::move(e));
+  }
+  return now_;
+}
+
+void Simulator::run_until(TimeNs t) {
+  LP_CHECK(t >= now_);
+  while (!queue_.empty() && queue_.top().time <= t) {
+    Entry e = queue_.top();
+    queue_.pop();
+    step(std::move(e));
+  }
+  now_ = t;
+}
+
+void Event::trigger() {
+  triggered_ = true;
+  for (auto h : waiters_) sim_->schedule_handle(sim_->now(), h);
+  waiters_.clear();
+}
+
+}  // namespace lp::sim

@@ -1,0 +1,123 @@
+#include "common/check.h"
+#include <gtest/gtest.h>
+
+#include "core/algorithm.h"
+#include "core/dads.h"
+#include "models/zoo.h"
+
+namespace lp::core {
+namespace {
+
+const PredictorBundle& bundle() {
+  static const PredictorBundle b = train_default_predictors(1234);
+  return b;
+}
+
+TEST(Dads, NeverWorseThanAlgorithm1) {
+  // The min cut searches a superset of Algorithm 1's cut space.
+  for (const char* name : {"alexnet", "squeezenet", "resnet18", "vgg16"}) {
+    SCOPED_TRACE(name);
+    const auto g = models::make_model(name);
+    const GraphCostProfile profile(g, bundle());
+    for (double bw : {1.0, 8.0, 64.0}) {
+      for (double k : {1.0, 8.0}) {
+        const auto linear = decide(profile, k, mbps(bw));
+        const auto cut = dads_min_cut(profile, k, mbps(bw));
+        EXPECT_LE(cut.latency_sec, linear.predicted_latency + 1e-6)
+            << "bw=" << bw << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(Dads, MatchesAlgorithm1OnTheEvaluationModels) {
+  // The paper's Section III-D claim: block-interior cuts never win on
+  // these architectures, so the O(n) topological search loses nothing.
+  for (const auto& name : models::evaluation_names()) {
+    SCOPED_TRACE(name);
+    const auto g = models::make_model(name);
+    const GraphCostProfile profile(g, bundle());
+    for (double bw : {2.0, 8.0, 32.0}) {
+      const auto linear = decide(profile, 1.0, mbps(bw));
+      const auto cut = dads_min_cut(profile, 1.0, mbps(bw));
+      EXPECT_NEAR(cut.latency_sec, linear.predicted_latency,
+                  linear.predicted_latency * 0.01 + 1e-9)
+          << "bw=" << bw;
+    }
+  }
+}
+
+TEST(Dads, PlacementConsistentWithObjective) {
+  const auto g = models::alexnet();
+  const GraphCostProfile profile(g, bundle());
+  const auto cut = dads_min_cut(profile, 1.0, mbps(8));
+  // Recompute the objective from the placement and compare.
+  double value = 0.0;
+  for (std::size_t i = 1; i <= profile.n(); ++i)
+    value += cut.on_server[i] ? profile.g_base(i) : profile.f(i);
+  const auto& order = g.backbone();
+  std::vector<std::int64_t> pos(g.node_count(), -1);
+  for (std::size_t i = 0; i < order.size(); ++i)
+    pos[static_cast<std::size_t>(order[i])] = static_cast<std::int64_t>(i);
+  for (std::size_t i = 0; i <= profile.n(); ++i) {
+    if (cut.on_server[i]) continue;
+    bool crosses = false;
+    for (graph::NodeId c :
+         g.consumers()[static_cast<std::size_t>(order[i])]) {
+      if (cut.on_server[static_cast<std::size_t>(
+              pos[static_cast<std::size_t>(c)])])
+        crosses = true;
+    }
+    if (crosses)
+      value += static_cast<double>(g.node(order[i]).output.bytes()) * 8.0 /
+               mbps(8);
+  }
+  EXPECT_NEAR(value, cut.latency_sec, value * 1e-6 + 1e-9);
+}
+
+TEST(Dads, MonotonePlacementNoBackflow) {
+  const auto g = models::resnet50();
+  const GraphCostProfile profile(g, bundle());
+  const auto cut = dads_min_cut(profile, 1.0, mbps(8));
+  const auto& order = g.backbone();
+  std::vector<std::int64_t> pos(g.node_count(), -1);
+  for (std::size_t i = 0; i < order.size(); ++i)
+    pos[static_cast<std::size_t>(order[i])] = static_cast<std::int64_t>(i);
+  for (std::size_t i = 0; i <= profile.n(); ++i) {
+    if (!cut.on_server[i]) continue;
+    // Every consumer of a server node must also be on the server.
+    for (graph::NodeId c :
+         g.consumers()[static_cast<std::size_t>(order[i])]) {
+      EXPECT_TRUE(cut.on_server[static_cast<std::size_t>(
+          pos[static_cast<std::size_t>(c)])]);
+    }
+  }
+  // L0 is pinned to the device.
+  EXPECT_FALSE(cut.on_server[0]);
+}
+
+TEST(Dads, HugeKDrivesEverythingLocal) {
+  const auto g = models::squeezenet();
+  const GraphCostProfile profile(g, bundle());
+  const auto cut = dads_min_cut(profile, 1e9, mbps(64));
+  EXPECT_EQ(cut.device_nodes, profile.n());
+  EXPECT_EQ(cut.server_nodes, 0u);
+  // Objective equals the device-side sum.
+  EXPECT_NEAR(cut.latency_sec, profile.prefix_f(profile.n()),
+              profile.prefix_f(profile.n()) * 1e-6);
+}
+
+TEST(Dads, ExtremesMatchFullAndLocal) {
+  const auto g = models::alexnet();
+  const GraphCostProfile profile(g, bundle());
+  // Huge bandwidth, idle server: everything (but L0) on the server.
+  const auto offload = dads_min_cut(profile, 1.0, mbps(1e6));
+  EXPECT_EQ(offload.server_nodes, profile.n());
+  // Tiny bandwidth: everything local.
+  const auto local = dads_min_cut(profile, 1.0, 1.0);
+  EXPECT_EQ(local.device_nodes, profile.n());
+  EXPECT_EQ(local.cut_tensors, 0u);
+}
+
+}  // namespace
+}  // namespace lp::core

@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "exec/interpreter.h"
+#include "graph/graph.h"
+
+namespace lp::exec {
+namespace {
+
+using graph::GraphBuilder;
+
+TEST(Tensor, AccessorsAndDiff) {
+  Tensor a(Shape{1, 2, 2, 2});
+  a.at4(0, 1, 1, 1) = 3.0f;
+  EXPECT_FLOAT_EQ(a.at(7), 3.0f);
+  Tensor b(Shape{1, 2, 2, 2});
+  EXPECT_DOUBLE_EQ(Tensor::max_abs_diff(a, b), 3.0);
+}
+
+TEST(Tensor, DeterministicParamStableAcrossCalls) {
+  const auto a = deterministic_param("conv1.weight", Shape{4, 3, 3, 3});
+  const auto b = deterministic_param("conv1.weight", Shape{4, 3, 3, 3});
+  EXPECT_DOUBLE_EQ(Tensor::max_abs_diff(a, b), 0.0);
+  const auto c = deterministic_param("conv2.weight", Shape{4, 3, 3, 3});
+  EXPECT_GT(Tensor::max_abs_diff(a, c), 0.0);
+}
+
+TEST(Interpreter, ConvIdentityKernel) {
+  GraphBuilder b("conv-id");
+  auto x = b.input({1, 1, 3, 3});
+  auto y = b.conv2d(x, 1, 1, 1, 0, /*with_bias=*/false, "c");
+  graph::Graph g = b.build(y);
+
+  Tensor input(Shape{1, 1, 3, 3});
+  for (int i = 0; i < 9; ++i) input.at(i) = static_cast<float>(i);
+  Tensor weight(Shape{1, 1, 1, 1});
+  weight.at(0) = 2.0f;
+
+  Interpreter interp(g);
+  const auto out =
+      interp.run({{"input", input}, {"c.weight", weight}});
+  ASSERT_EQ(out.size(), 1u);
+  for (int i = 0; i < 9; ++i)
+    EXPECT_FLOAT_EQ(out[0].at(i), 2.0f * static_cast<float>(i));
+}
+
+TEST(Interpreter, ConvPaddingAndStride) {
+  // 3x3 input, 3x3 all-ones kernel, pad 1, stride 2 -> 2x2 output of
+  // corner-window sums.
+  GraphBuilder b("conv-pad");
+  auto x = b.input({1, 1, 3, 3});
+  auto y = b.conv2d(x, 1, 3, 2, 1, false, "c");
+  graph::Graph g = b.build(y);
+
+  Tensor input(Shape{1, 1, 3, 3});
+  for (int i = 0; i < 9; ++i) input.at(i) = 1.0f;
+  Tensor weight(Shape{1, 1, 3, 3});
+  for (int i = 0; i < 9; ++i) weight.at(i) = 1.0f;
+
+  const auto out = Interpreter(g).run({{"input", input},
+                                       {"c.weight", weight}});
+  ASSERT_EQ(out[0].shape(), (Shape{1, 1, 2, 2}));
+  for (int i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(out[0].at(i), 4.0f);
+}
+
+TEST(Interpreter, MaxAndAvgPool) {
+  GraphBuilder b("pool");
+  auto x = b.input({1, 1, 2, 2});
+  auto mx = b.maxpool(x, 2, 2, 0, false, "mx");
+  graph::Graph g = b.build(mx);
+  Tensor input(Shape{1, 1, 2, 2}, {1.0f, 2.0f, 3.0f, 4.0f});
+  const auto out = Interpreter(g).run({{"input", input}});
+  EXPECT_FLOAT_EQ(out[0].at(0), 4.0f);
+
+  GraphBuilder b2("pool-avg");
+  auto x2 = b2.input({1, 1, 2, 2});
+  auto av = b2.avgpool(x2, 2, 2, 0, "av");
+  graph::Graph g2 = b2.build(av);
+  const auto out2 = Interpreter(g2).run({{"input", input}});
+  EXPECT_FLOAT_EQ(out2[0].at(0), 2.5f);
+}
+
+TEST(Interpreter, MatMulBias) {
+  GraphBuilder b("fc");
+  auto x = b.input({1, 2});
+  auto y = b.fc(x, 2, true, "fc");
+  graph::Graph g = b.build(y);
+  Tensor input(Shape{1, 2}, {1.0f, 2.0f});
+  Tensor weight(Shape{2, 2}, {1.0f, 2.0f, 3.0f, 4.0f});
+  Tensor bias(Shape{2}, {10.0f, 20.0f});
+  const auto out = Interpreter(g).run(
+      {{"input", input}, {"fc.weight", weight}, {"fc.bias", bias}});
+  EXPECT_FLOAT_EQ(out[0].at2(0, 0), 1 * 1 + 2 * 3 + 10);
+  EXPECT_FLOAT_EQ(out[0].at2(0, 1), 1 * 2 + 2 * 4 + 20);
+}
+
+TEST(Interpreter, ActivationsAndSoftmax) {
+  GraphBuilder b("acts");
+  auto x = b.input({1, 4});
+  auto y = b.softmax(b.tanh(b.relu(x)));
+  graph::Graph g = b.build(y);
+  Tensor input(Shape{1, 4}, {-1.0f, 0.0f, 1.0f, 2.0f});
+  const auto out = Interpreter(g).run({{"input", input}});
+  double sum = 0.0;
+  for (int i = 0; i < 4; ++i) sum += out[0].at(i);
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+  // ReLU zeroed the negatives, so the first two logits are equal.
+  EXPECT_FLOAT_EQ(out[0].at(0), out[0].at(1));
+  EXPECT_GT(out[0].at(3), out[0].at(2));
+}
+
+TEST(Interpreter, AddAndConcat) {
+  GraphBuilder b("addcat");
+  auto x = b.input({1, 1, 2, 2});
+  auto r = b.relu(x, "r");
+  auto s = b.sigmoid(x, "s");
+  auto cat = b.concat({r, s}, "cat");
+  graph::Graph g = b.build(cat);
+  Tensor input(Shape{1, 1, 2, 2}, {0.0f, 1.0f, -1.0f, 2.0f});
+  const auto out = Interpreter(g).run({{"input", input}});
+  ASSERT_EQ(out[0].shape(), (Shape{1, 2, 2, 2}));
+  EXPECT_FLOAT_EQ(out[0].at4(0, 0, 0, 1), 1.0f);                   // relu
+  EXPECT_NEAR(out[0].at4(0, 1, 0, 1), 1.0 / (1.0 + std::exp(-1.0)), 1e-6);
+}
+
+TEST(Interpreter, BatchNormNormalizes) {
+  GraphBuilder b("bn");
+  auto x = b.input({1, 2, 1, 1});
+  auto y = b.batchnorm(x, "bn");
+  graph::Graph g = b.build(y);
+  Tensor input(Shape{1, 2, 1, 1}, {4.0f, 8.0f});
+  Tensor gamma(Shape{2}, {1.0f, 2.0f});
+  Tensor beta(Shape{2}, {0.0f, 1.0f});
+  Tensor mean(Shape{2}, {2.0f, 6.0f});
+  Tensor var(Shape{2}, {4.0f, 1.0f});
+  const auto out = Interpreter(g).run({{"input", input},
+                                       {"bn.gamma", gamma},
+                                       {"bn.beta", beta},
+                                       {"bn.mean", mean},
+                                       {"bn.var", var}});
+  EXPECT_NEAR(out[0].at(0), (4.0 - 2.0) / 2.0, 1e-4);
+  EXPECT_NEAR(out[0].at(1), 2.0 * (8.0 - 6.0) / 1.0 + 1.0, 1e-3);
+}
+
+TEST(Interpreter, DepthwiseConvPerChannelFilters) {
+  // 2 channels, 1x1 depthwise kernels [2, 3]: channel c is scaled by its
+  // own filter only.
+  GraphBuilder b("dw");
+  auto x = b.input({1, 2, 2, 2});
+  auto y = b.dwconv2d(x, 1, 1, 0, false, "dw");
+  graph::Graph g = b.build(y);
+  Tensor input(Shape{1, 2, 2, 2},
+               {1.0f, 2.0f, 3.0f, 4.0f, 5.0f, 6.0f, 7.0f, 8.0f});
+  Tensor weight(Shape{2, 1, 1, 1}, {2.0f, 3.0f});
+  const auto out =
+      Interpreter(g).run({{"input", input}, {"dw.weight", weight}});
+  EXPECT_FLOAT_EQ(out[0].at4(0, 0, 0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(out[0].at4(0, 0, 1, 1), 8.0f);
+  EXPECT_FLOAT_EQ(out[0].at4(0, 1, 0, 0), 15.0f);
+  EXPECT_FLOAT_EQ(out[0].at4(0, 1, 1, 1), 24.0f);
+}
+
+TEST(Interpreter, RectangularConvKernel) {
+  // 1x3 all-ones kernel with pad (0,1): horizontal neighborhood sums.
+  GraphBuilder b("rect");
+  auto x = b.input({1, 1, 2, 3});
+  auto y = b.conv2d_rect(x, 1, 1, 3, 1, 0, 1, false, "c");
+  graph::Graph g = b.build(y);
+  Tensor input(Shape{1, 1, 2, 3}, {1.0f, 2.0f, 3.0f, 4.0f, 5.0f, 6.0f});
+  Tensor weight(Shape{1, 1, 1, 3}, {1.0f, 1.0f, 1.0f});
+  const auto out =
+      Interpreter(g).run({{"input", input}, {"c.weight", weight}});
+  ASSERT_EQ(out[0].shape(), (Shape{1, 1, 2, 3}));
+  EXPECT_FLOAT_EQ(out[0].at4(0, 0, 0, 0), 3.0f);   // 0+1+2
+  EXPECT_FLOAT_EQ(out[0].at4(0, 0, 0, 1), 6.0f);   // 1+2+3
+  EXPECT_FLOAT_EQ(out[0].at4(0, 0, 1, 2), 11.0f);  // 5+6+0
+}
+
+TEST(Interpreter, CeilModePoolClipsWindowToInput) {
+  // 3x3 input, 2x2 max pool stride 2 with ceil: output 2x2, the last
+  // windows clipped at the border.
+  GraphBuilder b("ceil");
+  auto x = b.input({1, 1, 3, 3});
+  auto y = b.maxpool(x, 2, 2, 0, /*ceil_mode=*/true, "p");
+  graph::Graph g = b.build(y);
+  Tensor input(Shape{1, 1, 3, 3});
+  for (int i = 0; i < 9; ++i) input.at(i) = static_cast<float>(i);
+  const auto out = Interpreter(g).run({{"input", input}});
+  ASSERT_EQ(out[0].shape(), (Shape{1, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(out[0].at4(0, 0, 0, 0), 4.0f);
+  EXPECT_FLOAT_EQ(out[0].at4(0, 0, 0, 1), 5.0f);
+  EXPECT_FLOAT_EQ(out[0].at4(0, 0, 1, 1), 8.0f);
+}
+
+TEST(Interpreter, GlobalAvgPoolIsTheMean) {
+  GraphBuilder b("gap");
+  auto x = b.input({1, 2, 3, 3});
+  auto y = b.global_avgpool(x, "gap");
+  graph::Graph g = b.build(y);
+  Tensor input(Shape{1, 2, 3, 3});
+  for (int i = 0; i < 18; ++i) input.at(i) = static_cast<float>(i);
+  const auto out = Interpreter(g).run({{"input", input}});
+  ASSERT_EQ(out[0].shape(), (Shape{1, 2, 1, 1}));
+  EXPECT_FLOAT_EQ(out[0].at(0), 4.0f);   // mean of 0..8
+  EXPECT_FLOAT_EQ(out[0].at(1), 13.0f);  // mean of 9..17
+}
+
+TEST(Interpreter, BatchGreaterThanOne) {
+  GraphBuilder b("batch");
+  auto x = b.input({2, 1, 2, 2});
+  auto y = b.relu(b.maxpool(x, 2, 2, 0, false, "p"));
+  graph::Graph g = b.build(y);
+  Tensor input(Shape{2, 1, 2, 2},
+               {-1.0f, 2.0f, 3.0f, 4.0f, -5.0f, -6.0f, -7.0f, -8.0f});
+  const auto out = Interpreter(g).run({{"input", input}});
+  ASSERT_EQ(out[0].shape(), (Shape{2, 1, 1, 1}));
+  EXPECT_FLOAT_EQ(out[0].at(0), 4.0f);
+  EXPECT_FLOAT_EQ(out[0].at(1), 0.0f);  // max is negative, relu clamps
+}
+
+TEST(Interpreter, MissingInputBindingThrows) {
+  GraphBuilder b("missing");
+  auto x = b.input({1, 2});
+  graph::Graph g = b.build(b.relu(x));
+  EXPECT_THROW(Interpreter(g).run({}), ContractError);
+}
+
+TEST(Interpreter, ShapeMismatchThrows) {
+  GraphBuilder b("badshape");
+  auto x = b.input({1, 2});
+  graph::Graph g = b.build(b.relu(x));
+  Tensor wrong(Shape{1, 3});
+  EXPECT_THROW(Interpreter(g).run({{"input", wrong}}), ContractError);
+}
+
+}  // namespace
+}  // namespace lp::exec

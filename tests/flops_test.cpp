@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "flops/features.h"
+#include "flops/flops.h"
+#include "models/zoo.h"
+
+namespace lp::flops {
+namespace {
+
+using graph::OpType;
+
+NodeConfig conv_cfg() {
+  NodeConfig cfg;
+  cfg.op = OpType::kConv;
+  cfg.in = Shape{1, 3, 224, 224};
+  cfg.out = Shape{1, 64, 55, 55};
+  cfg.kernel_h = cfg.kernel_w = 11;
+  cfg.pad_h = cfg.pad_w = 2;
+  return cfg;
+}
+
+TEST(TableI, ConvFlops) {
+  // N * C_in * H_out * W_out * K_H * K_W * C_out.
+  EXPECT_EQ(flops_of(conv_cfg()),
+            1LL * 3 * 55 * 55 * 11 * 11 * 64);
+}
+
+TEST(TableI, DWConvFlops) {
+  NodeConfig cfg;
+  cfg.op = OpType::kDWConv;
+  cfg.in = Shape{1, 32, 28, 28};
+  cfg.out = Shape{1, 32, 28, 28};
+  cfg.kernel_h = cfg.kernel_w = 3;
+  // N * C_in * H_out * W_out * K_H * K_W (no C_out factor).
+  EXPECT_EQ(flops_of(cfg), 1LL * 32 * 28 * 28 * 3 * 3);
+}
+
+TEST(TableI, MatMulFlops) {
+  NodeConfig cfg;
+  cfg.op = OpType::kMatMul;
+  cfg.in = Shape{1, 9216};
+  cfg.out = Shape{1, 4096};
+  EXPECT_EQ(flops_of(cfg), 1LL * 9216 * 4096);
+}
+
+TEST(TableI, PoolingFlops) {
+  NodeConfig cfg;
+  cfg.op = OpType::kMaxPool;
+  cfg.in = Shape{1, 64, 55, 55};
+  cfg.out = Shape{1, 64, 27, 27};
+  cfg.kernel_h = cfg.kernel_w = 3;
+  // N * C_out * H_out * W_out * K_H * K_W.
+  EXPECT_EQ(flops_of(cfg), 1LL * 64 * 27 * 27 * 3 * 3);
+}
+
+TEST(TableI, ElementwiseFamilyIsInputSize) {
+  for (OpType op : {OpType::kBiasAdd, OpType::kAdd, OpType::kBatchNorm,
+                    OpType::kRelu, OpType::kSigmoid, OpType::kTanh,
+                    OpType::kSoftmax}) {
+    NodeConfig cfg;
+    cfg.op = op;
+    cfg.in = Shape{1, 64, 55, 55};
+    cfg.out = cfg.in;
+    EXPECT_EQ(flops_of(cfg), 1LL * 64 * 55 * 55) << op_name(op);
+  }
+}
+
+TEST(TableI, StructuralNodesAreFree) {
+  NodeConfig cfg;
+  cfg.op = OpType::kConcat;
+  cfg.in = Shape{1, 64, 55, 55};
+  cfg.out = Shape{1, 128, 55, 55};
+  EXPECT_EQ(flops_of(cfg), 0);
+  cfg.op = OpType::kFlatten;
+  EXPECT_EQ(flops_of(cfg), 0);
+}
+
+TEST(ModelKind, MappingCoversEveryOp) {
+  EXPECT_EQ(model_kind(OpType::kConv), ModelKind::kConv);
+  EXPECT_EQ(model_kind(OpType::kDWConv), ModelKind::kDWConv);
+  EXPECT_EQ(model_kind(OpType::kMaxPool), ModelKind::kMaxPool);
+  EXPECT_EQ(model_kind(OpType::kAvgPool), ModelKind::kAvgPool);
+  EXPECT_EQ(model_kind(OpType::kInput), ModelKind::kNone);
+  EXPECT_EQ(model_kind(OpType::kMakeTuple), ModelKind::kNone);
+  EXPECT_EQ(all_model_kinds().size(),
+            static_cast<std::size_t>(kNumModelKinds));
+}
+
+TEST(TableII, ConvFeatures) {
+  const auto cfg = conv_cfg();
+  const double sf = 3.0 * 11 * 11;  // C_in * K_H * K_W
+  for (Device d : {Device::kUser, Device::kEdge}) {
+    const auto f = features_of(cfg, d);
+    ASSERT_EQ(f.size(), 4u);
+    EXPECT_DOUBLE_EQ(f[0], static_cast<double>(flops_of(cfg)));
+    EXPECT_DOUBLE_EQ(f[1], sf);
+    EXPECT_DOUBLE_EQ(f[2], 224.0 * sf);   // H_in * s_f
+    EXPECT_DOUBLE_EQ(f[3], 64.0 * sf);    // C_out * s_f
+  }
+}
+
+TEST(TableII, DWConvFeaturesDifferByDevice) {
+  NodeConfig cfg;
+  cfg.op = OpType::kDWConv;
+  cfg.in = Shape{1, 32, 28, 28};
+  cfg.out = Shape{1, 32, 28, 28};
+  cfg.kernel_h = cfg.kernel_w = 3;
+  cfg.pad_h = cfg.pad_w = 1;
+  const auto edge = features_of(cfg, Device::kEdge);
+  const auto user = features_of(cfg, Device::kUser);
+  ASSERT_EQ(edge.size(), 3u);  // FLOPs, s_f, padded_size
+  ASSERT_EQ(user.size(), 2u);  // FLOPs, N*C_out*s_f
+  EXPECT_DOUBLE_EQ(edge[2], 1.0 * 32 * 30 * 30);
+  EXPECT_DOUBLE_EQ(user[1], 1.0 * 32 * (32 * 3 * 3));
+}
+
+TEST(TableII, MatMulAndPoolingFeatureWidths) {
+  NodeConfig mm;
+  mm.op = OpType::kMatMul;
+  mm.in = Shape{1, 9216};
+  mm.out = Shape{1, 4096};
+  EXPECT_EQ(features_of(mm, Device::kEdge).size(), 4u);
+
+  NodeConfig pool;
+  pool.op = OpType::kAvgPool;
+  pool.in = Shape{1, 64, 55, 55};
+  pool.out = Shape{1, 64, 27, 27};
+  pool.kernel_h = pool.kernel_w = 3;
+  const auto f = features_of(pool, Device::kUser);
+  ASSERT_EQ(f.size(), 4u);
+  EXPECT_DOUBLE_EQ(f[1], 1.0 * 64 * 55 * 55);
+  EXPECT_DOUBLE_EQ(f[2], 1.0 * 64 * 27 * 27);
+  EXPECT_DOUBLE_EQ(f[3], 27.0 * 27.0);
+}
+
+TEST(TableII, ElementwiseFeatureIsFlopsOnly) {
+  NodeConfig cfg;
+  cfg.op = OpType::kRelu;
+  cfg.in = Shape{1, 64, 55, 55};
+  cfg.out = cfg.in;
+  const auto f = features_of(cfg, Device::kUser);
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_DOUBLE_EQ(f[0], static_cast<double>(flops_of(cfg)));
+}
+
+TEST(TableII, FeatureNamesMatchWidths) {
+  for (ModelKind kind : all_model_kinds()) {
+    for (Device d : {Device::kUser, Device::kEdge}) {
+      NodeConfig cfg;
+      // Use a real config for each kind via the zoo where convenient; the
+      // widths only depend on (kind, device).
+      const auto names = feature_names(kind, d);
+      EXPECT_FALSE(names.empty());
+    }
+  }
+}
+
+TEST(CandidateFeatures, SupersetOfSelected) {
+  const auto cfg = conv_cfg();
+  const auto cand = candidate_features_of(cfg);
+  const auto names = candidate_feature_names(ModelKind::kConv);
+  EXPECT_EQ(cand.size(), names.size());
+  EXPECT_GT(cand.size(),
+            features_of(cfg, Device::kEdge).size());
+}
+
+TEST(GraphFlops, AlexNetTotalMatchesReference) {
+  // AlexNet Table-I FLOPs (MAC convention): ~0.71 G conv + ~0.06 G FC.
+  const auto g = models::alexnet();
+  EXPECT_NEAR(static_cast<double>(graph_flops(g)) / 1e9, 0.77, 0.08);
+}
+
+TEST(ConfigOf, ExtractsConvAttrsFromGraph) {
+  const auto g = models::alexnet();
+  const auto cfg = config_of(g, g.backbone()[1]);  // conv1
+  EXPECT_EQ(cfg.op, OpType::kConv);
+  EXPECT_EQ(cfg.kernel_h, 11);
+  EXPECT_EQ(cfg.in, (Shape{1, 3, 224, 224}));
+  EXPECT_EQ(cfg.out, (Shape{1, 64, 55, 55}));
+}
+
+}  // namespace
+}  // namespace lp::flops

@@ -1,0 +1,172 @@
+#include "common/check.h"
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "core/predictor.h"
+#include "graph/fusion.h"
+#include "hw/gpu_model.h"
+#include "models/zoo.h"
+#include "support/random_graph.h"
+
+namespace lp::graph {
+namespace {
+
+TEST(Fusion, AnchorAndEpilogueClassification) {
+  EXPECT_TRUE(is_fusion_anchor(OpType::kConv));
+  EXPECT_TRUE(is_fusion_anchor(OpType::kMatMul));
+  EXPECT_TRUE(is_fusion_anchor(OpType::kAdd));
+  EXPECT_FALSE(is_fusion_anchor(OpType::kRelu));
+  EXPECT_FALSE(is_fusion_anchor(OpType::kMaxPool));
+  EXPECT_TRUE(is_fusable_epilogue(OpType::kBiasAdd));
+  EXPECT_TRUE(is_fusable_epilogue(OpType::kBatchNorm));
+  EXPECT_TRUE(is_fusable_epilogue(OpType::kRelu));
+  EXPECT_FALSE(is_fusable_epilogue(OpType::kConv));
+  EXPECT_FALSE(is_fusable_epilogue(OpType::kConcat));
+}
+
+TEST(Fusion, AlexNetGroupsAreTheFrameworkFusions) {
+  // AlexNet: every conv/fc fuses its BiasAdd (+ReLU); pools and flatten
+  // stay alone. 5x(Conv+Bias+ReLU) + 3 pools + flatten + 2x(FC+Bias+ReLU)
+  // + 1x(FC+Bias) = 5 + 3 + 1 + 2 + 1 = 12 groups for 27 nodes.
+  const auto g = models::alexnet();
+  const auto groups = fuse_groups(g);
+  EXPECT_EQ(groups.size(), 12u);
+  // First group is conv1 + biasadd + relu.
+  EXPECT_EQ(groups.front().size(), 3u);
+  EXPECT_EQ(g.node(groups.front().anchor()).name, "conv1");
+  // Groups partition the backbone exactly (every position once).
+  std::unordered_set<NodeId> seen;
+  std::size_t total = 0;
+  for (const auto& group : groups) {
+    for (NodeId id : group.nodes) {
+      EXPECT_TRUE(seen.insert(id).second);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, g.n());
+}
+
+TEST(Fusion, ResNetConvBnReluFuse) {
+  const auto g = models::resnet18();
+  const auto groups = fuse_groups(g);
+  // Far fewer kernels than nodes: conv+bn(+relu) stacks collapse.
+  EXPECT_LT(groups.size(), g.n() * 6 / 10);
+  // The stem conv+bn+relu is one group.
+  EXPECT_EQ(g.node(groups.front().anchor()).name, "stem.conv");
+  EXPECT_EQ(groups.front().size(), 3u);
+}
+
+TEST(Fusion, TensorsWithMultipleConsumersDoNotFuseAway) {
+  // In a residual block the conv input feeds both the body and the skip;
+  // a tensor consumed twice must stay materialized (group boundary).
+  GraphBuilder b("fork");
+  auto x = b.input({1, 4, 8, 8});
+  auto c = b.conv2d(x, 4, 3, 1, 1, false, "c");   // consumed by r and add
+  auto r = b.relu(c, "r");
+  auto sum = b.add(r, c, "sum");
+  const auto g = b.build(b.relu(sum, "out"));
+  const auto groups = fuse_groups(g);
+  // conv cannot absorb relu (conv output also feeds add): groups are
+  // {conv}, {relu}, {add, out-relu}.
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[0].size(), 1u);
+  EXPECT_EQ(groups[1].size(), 1u);
+  EXPECT_EQ(groups[2].size(), 2u);
+}
+
+TEST(Fusion, SegmentFusionRespectsCutBoundaries) {
+  // Cutting inside a fusable stack splits it: each side fuses only its own
+  // nodes.
+  const auto g = models::alexnet();
+  // p = 1 cuts between conv1 and its biasadd.
+  const auto prefix = fuse_segment(g, 1, 1);
+  ASSERT_EQ(prefix.size(), 1u);
+  EXPECT_EQ(prefix.front().size(), 1u);
+  const auto suffix = fuse_segment(g, 2, g.n());
+  // biasadd+relu at the suffix head cannot fuse backwards into conv1 and
+  // biasadd is no anchor: they form singleton groups.
+  EXPECT_EQ(suffix.front().size(), 1u);
+}
+
+TEST(Fusion, RandomGraphsPartitionExactly) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const auto g = test::random_graph(seed);
+    const auto groups = fuse_groups(g);
+    std::size_t total = 0;
+    for (const auto& group : groups) {
+      ASSERT_FALSE(group.nodes.empty());
+      total += group.size();
+      // Only the anchor may be a non-epilogue op.
+      for (std::size_t i = 1; i < group.nodes.size(); ++i)
+        EXPECT_TRUE(is_fusable_epilogue(g.node(group.nodes[i]).op));
+    }
+    EXPECT_EQ(total, g.n()) << "seed=" << seed;
+  }
+}
+
+TEST(Fusion, FusedExecutionIsFasterButNotAbsurdly) {
+  const hw::GpuModel gpu;
+  for (const char* name : {"alexnet", "resnet50", "vgg16", "xception"}) {
+    SCOPED_TRACE(name);
+    const auto g = models::make_model(name);
+    const auto unfused =
+        gpu.segment_time(g, 0, g.backbone().size() - 1);
+    const auto fused =
+        gpu.fused_segment_time(g, 0, g.backbone().size() - 1);
+    EXPECT_LT(fused, unfused);
+    EXPECT_GT(fused, unfused / 5);  // savings bounded by dispatch share
+  }
+}
+
+TEST(Fusion, FusedPredictionNeverExceedsNaiveSum) {
+  // Structural property: anchor-only prediction sums a subset of the
+  // layer-by-layer terms (all coefficients are non-negative).
+  const auto bundle = core::train_default_predictors(1234);
+  for (const auto& name : models::zoo_names()) {
+    SCOPED_TRACE(name);
+    const auto g = models::make_model(name);
+    double naive = 0.0;
+    for (std::size_t i = 1; i <= g.n(); ++i)
+      naive +=
+          bundle.edge.predict_seconds(flops::config_of(g, g.backbone()[i]));
+    EXPECT_LE(core::fused_edge_prediction(g, bundle.edge, 1, g.n()),
+              naive + 1e-12);
+  }
+}
+
+TEST(Fusion, FusedPredictionCloserWhereEpiloguesDominate) {
+  // On a framework that fuses, summing every layer overpredicts the
+  // epilogue work. The effect is cleanest on the element-wise-heavy
+  // models (VGG16's BiasAdd+ReLU stacks, Xception's BatchNorm chains);
+  // elsewhere conv-kernel prediction error dominates either way
+  // (bench/ablation_fusion shows the full picture).
+  const auto bundle = core::train_default_predictors(1234);
+  const hw::GpuModel gpu;
+  for (const char* name : {"vgg16", "xception"}) {
+    SCOPED_TRACE(name);
+    const auto g = models::make_model(name);
+    const std::size_t n = g.n();
+    const auto groups = graph::fuse_groups(g);
+    const double truth =
+        to_seconds(gpu.fused_segment_time(g, 0, n)) -
+        gpu.params().framework_dispatch_sec *
+            static_cast<double>(groups.size());
+    double naive = 0.0;
+    for (std::size_t i = 1; i <= n; ++i)
+      naive +=
+          bundle.edge.predict_seconds(flops::config_of(g, g.backbone()[i]));
+    const double fused = core::fused_edge_prediction(g, bundle.edge, 1, n);
+    EXPECT_LT(std::abs(fused - truth), std::abs(naive - truth));
+  }
+  // And the pure fusion effect, bias-free: ground-truth kernel sums.
+  for (const auto& name : models::zoo_names()) {
+    SCOPED_TRACE(name);
+    const auto g = models::make_model(name);
+    EXPECT_GT(gpu.segment_time(g, 0, g.backbone().size() - 1),
+              gpu.fused_segment_time(g, 0, g.backbone().size() - 1));
+  }
+}
+
+}  // namespace
+}  // namespace lp::graph

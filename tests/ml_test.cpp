@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "ml/gbt.h"
+#include "ml/linreg.h"
+#include "ml/matrix.h"
+#include "ml/metrics.h"
+#include "ml/nnls.h"
+
+namespace lp::ml {
+namespace {
+
+TEST(Matrix, MultiplyAndTranspose) {
+  Matrix a = Matrix::from_rows({{1, 2}, {3, 4}, {5, 6}});
+  const Matrix at = a.transpose();
+  EXPECT_EQ(at.rows(), 2u);
+  EXPECT_EQ(at.cols(), 3u);
+  const Matrix ata = at.multiply(a);
+  EXPECT_DOUBLE_EQ(ata.at(0, 0), 35.0);
+  EXPECT_DOUBLE_EQ(ata.at(0, 1), 44.0);
+  EXPECT_DOUBLE_EQ(ata.at(1, 1), 56.0);
+  const auto v = a.multiply(std::vector<double>{1.0, -1.0});
+  EXPECT_EQ(v, (std::vector<double>{-1.0, -1.0, -1.0}));
+}
+
+TEST(Matrix, FromRowsRejectsRagged) {
+  EXPECT_THROW(Matrix::from_rows({{1, 2}, {3}}), ContractError);
+}
+
+TEST(CholeskySolve, SolvesSpdSystem) {
+  Matrix a = Matrix::from_rows({{4, 1}, {1, 3}});
+  const auto x = cholesky_solve(a, {1, 2});
+  EXPECT_NEAR(x[0], 1.0 / 11.0, 1e-9);
+  EXPECT_NEAR(x[1], 7.0 / 11.0, 1e-9);
+}
+
+TEST(LeastSquares, RecoversExactCoefficients) {
+  // y = 2 x0 + 3 x1 over a well-conditioned design.
+  Rng rng(4);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  for (int i = 0; i < 50; ++i) {
+    const double x0 = rng.uniform(0, 10), x1 = rng.uniform(0, 10);
+    rows.push_back({x0, x1});
+    y.push_back(2 * x0 + 3 * x1);
+  }
+  const auto x = least_squares(Matrix::from_rows(rows), y);
+  EXPECT_NEAR(x[0], 2.0, 1e-6);
+  EXPECT_NEAR(x[1], 3.0, 1e-6);
+}
+
+TEST(Nnls, MatchesUnconstrainedWhenSolutionPositive) {
+  Rng rng(7);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  for (int i = 0; i < 100; ++i) {
+    const double x0 = rng.uniform(0, 1), x1 = rng.uniform(0, 1);
+    rows.push_back({x0, x1});
+    y.push_back(1.5 * x0 + 0.5 * x1 + 0.01 * rng.normal());
+  }
+  const auto r = nnls(Matrix::from_rows(rows), y);
+  EXPECT_NEAR(r.x[0], 1.5, 0.05);
+  EXPECT_NEAR(r.x[1], 0.5, 0.05);
+}
+
+TEST(Nnls, ClampsNegativeComponentToZero) {
+  // y = 2 x0 - 1 x1: the unconstrained optimum has a negative coefficient,
+  // NNLS must return x1 = 0.
+  Rng rng(8);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    const double x0 = rng.uniform(0, 1), x1 = rng.uniform(0, 1);
+    rows.push_back({x0, x1});
+    y.push_back(2.0 * x0 - 1.0 * x1);
+  }
+  const auto r = nnls(Matrix::from_rows(rows), y);
+  EXPECT_EQ(r.x[1], 0.0);
+  EXPECT_GT(r.x[0], 0.5);
+}
+
+TEST(Nnls, AllNonNegativeOnRandomProblems) {
+  Rng rng(21);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int m = 40, n = 5;
+    std::vector<std::vector<double>> rows;
+    std::vector<double> y;
+    for (int i = 0; i < m; ++i) {
+      std::vector<double> row;
+      for (int j = 0; j < n; ++j) row.push_back(rng.uniform(-1, 1));
+      rows.push_back(std::move(row));
+      y.push_back(rng.uniform(-2, 2));
+    }
+    const auto r = nnls(Matrix::from_rows(rows), y);
+    for (double c : r.x) EXPECT_GE(c, 0.0);
+    EXPECT_GE(r.residual, 0.0);
+  }
+}
+
+TEST(Nnls, SatisfiesKktConditionsOnRandomProblems) {
+  // Optimality of min ||Ax-b|| s.t. x >= 0: with gradient w = A^T(b - Ax),
+  // active coordinates (x_i > 0) have w_i ~= 0 and inactive ones have
+  // w_i <= 0 (no descent direction into the feasible region).
+  Rng rng(41);
+  for (int trial = 0; trial < 25; ++trial) {
+    const std::size_t m = 60, n = 6;
+    std::vector<std::vector<double>> rows;
+    std::vector<double> b;
+    for (std::size_t i = 0; i < m; ++i) {
+      std::vector<double> row;
+      for (std::size_t j = 0; j < n; ++j) row.push_back(rng.uniform(-1, 1));
+      rows.push_back(std::move(row));
+      b.push_back(rng.uniform(-2, 2));
+    }
+    const Matrix a = Matrix::from_rows(rows);
+    const auto r = nnls(a, b);
+
+    // Gradient of the residual at the solution.
+    std::vector<double> resid = b;
+    for (std::size_t i = 0; i < m; ++i)
+      for (std::size_t j = 0; j < n; ++j) resid[i] -= a.at(i, j) * r.x[j];
+    for (std::size_t j = 0; j < n; ++j) {
+      double w = 0.0;
+      for (std::size_t i = 0; i < m; ++i) w += a.at(i, j) * resid[i];
+      if (r.x[j] > 1e-10) {
+        EXPECT_NEAR(w, 0.0, 1e-6) << "active coordinate " << j;
+      } else {
+        EXPECT_LE(w, 1e-6) << "inactive coordinate " << j;
+      }
+    }
+  }
+}
+
+TEST(Nnls, HandlesWildlyScaledColumns) {
+  // Feature magnitudes like FLOPs (~1e9) next to small counts (~1e1).
+  Rng rng(31);
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  for (int i = 0; i < 200; ++i) {
+    const double f = rng.uniform(1e6, 1e9), c = rng.uniform(1, 100);
+    rows.push_back({f, c});
+    y.push_back(2e-9 * f + 1e-3 * c);
+  }
+  const auto r = nnls(Matrix::from_rows(rows), y);
+  EXPECT_NEAR(r.x[0], 2e-9, 2e-10);
+  EXPECT_NEAR(r.x[1], 1e-3, 1e-4);
+}
+
+TEST(LinearModel, NoInterceptZeroInZeroOut) {
+  const LinearModel m({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(m.predict({0.0, 0.0}), 0.0);
+  EXPECT_DOUBLE_EQ(m.predict({1.0, 1.0}), 3.0);
+}
+
+TEST(LinearModel, RejectsNegativeCoefficients) {
+  EXPECT_THROW(LinearModel({1.0, -0.5}), ContractError);
+}
+
+TEST(LinearModel, FitPredictRoundTrip) {
+  Rng rng(5);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 100; ++i) {
+    const double a = rng.uniform(0, 5), b = rng.uniform(0, 5);
+    x.push_back({a, b});
+    y.push_back(0.7 * a + 0.1 * b);
+  }
+  const auto m = LinearModel::fit(x, y);
+  EXPECT_NEAR(m.predict({2.0, 2.0}), 1.6, 0.05);
+  EXPECT_EQ(m.predict_all(x).size(), x.size());
+}
+
+TEST(Metrics, RmseAndMape) {
+  const std::vector<double> truth{1.0, 2.0, 4.0};
+  const std::vector<double> pred{1.0, 3.0, 3.0};
+  EXPECT_NEAR(rmse(truth, pred), std::sqrt(2.0 / 3.0), 1e-12);
+  EXPECT_NEAR(mape(truth, pred), (0.0 + 0.5 + 0.25) / 3.0, 1e-12);
+}
+
+TEST(Metrics, MapeSkipsZeroTruth) {
+  EXPECT_NEAR(mape({0.0, 2.0}, {5.0, 3.0}), 0.5, 1e-12);
+  EXPECT_THROW(mape({0.0}, {1.0}), ContractError);
+}
+
+TEST(Gbt, LearnsNonlinearFunction) {
+  Rng rng(17);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 600; ++i) {
+    const double a = rng.uniform(0, 1), b = rng.uniform(0, 1);
+    x.push_back({a, b});
+    y.push_back(a > 0.5 ? 10.0 + b : b);  // step + slope
+  }
+  GbtParams params;
+  params.num_trees = 80;
+  const auto model = Gbt::fit(x, y, params);
+  EXPECT_NEAR(model.predict({0.9, 0.5}), 10.5, 1.0);
+  EXPECT_NEAR(model.predict({0.1, 0.5}), 0.5, 1.0);
+}
+
+TEST(Gbt, ImportanceRanksInformativeFeatureFirst) {
+  Rng rng(19);
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  for (int i = 0; i < 500; ++i) {
+    const double sig = rng.uniform(0, 1);
+    const double noise = rng.uniform(0, 1);
+    x.push_back({noise, sig});
+    y.push_back(5.0 * sig);
+  }
+  const auto model = Gbt::fit(x, y);
+  const auto& imp = model.feature_importance();
+  ASSERT_EQ(imp.size(), 2u);
+  EXPECT_GT(imp[1], imp[0]);
+  EXPECT_NEAR(imp[0] + imp[1], 1.0, 1e-9);
+}
+
+TEST(Gbt, DeterministicGivenSeed) {
+  std::vector<std::vector<double>> x;
+  std::vector<double> y;
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    const double a = rng.uniform(0, 1);
+    x.push_back({a});
+    y.push_back(a * a);
+  }
+  const auto m1 = Gbt::fit(x, y);
+  const auto m2 = Gbt::fit(x, y);
+  EXPECT_DOUBLE_EQ(m1.predict({0.3}), m2.predict({0.3}));
+}
+
+}  // namespace
+}  // namespace lp::ml

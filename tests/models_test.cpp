@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/check.h"
+#include "flops/flops.h"
+#include "graph/cut.h"
+#include "models/zoo.h"
+
+namespace lp::models {
+namespace {
+
+using graph::OpType;
+
+TEST(Zoo, AllModelsBuildAndValidate) {
+  for (const auto& name : zoo_names()) {
+    SCOPED_TRACE(name);
+    const auto g = make_model(name);
+    EXPECT_EQ(g.name(), name);
+    EXPECT_GT(g.n(), 10u);
+    g.validate();  // throws on violation
+  }
+}
+
+TEST(Zoo, UnknownNameThrows) {
+  EXPECT_THROW(make_model("lenet"), ContractError);
+}
+
+TEST(Zoo, EvaluationSetIsThePapersSix) {
+  const auto names = evaluation_names();
+  ASSERT_EQ(names.size(), 6u);
+  EXPECT_EQ(names[0], "alexnet");
+  EXPECT_EQ(names[2], "vgg16");
+}
+
+TEST(AlexNet, BackboneIndicesMatchPaper) {
+  const auto g = alexnet();
+  // n = 27 so that p = 27 is local inference (Figure 6).
+  EXPECT_EQ(g.n(), 27u);
+  // p = 4 is MaxPool-1, p = 8 is MaxPool-2 (the Fig. 1 optimum),
+  // p = 19 is Flatten.
+  EXPECT_EQ(g.node(g.backbone()[4]).op, OpType::kMaxPool);
+  EXPECT_EQ(g.node(g.backbone()[8]).op, OpType::kMaxPool);
+  EXPECT_EQ(g.node(g.backbone()[8]).name, "maxpool2");
+  EXPECT_EQ(g.node(g.backbone()[19]).op, OpType::kFlatten);
+  EXPECT_EQ(g.input_desc().shape, (Shape{1, 3, 224, 224}));
+  EXPECT_EQ(g.output_desc().shape, (Shape{1, 1000}));
+}
+
+TEST(AlexNet, CutAfterMaxPool2SmallerThanInput) {
+  // The motivation of Figure 1: the MaxPool-2 output (192x13x13) is much
+  // smaller than the 3x224x224 input.
+  const auto g = alexnet();
+  const auto s = graph::cut_sizes(g);
+  EXPECT_EQ(s[0], 3 * 224 * 224 * 4);
+  EXPECT_EQ(s[8], 192 * 13 * 13 * 4);
+  EXPECT_LT(s[8], s[0] / 4);
+}
+
+TEST(AlexNet, ParameterCountMatchesReference) {
+  const auto g = alexnet();
+  // Classic AlexNet (torchvision) has ~61.1M parameters.
+  EXPECT_NEAR(static_cast<double>(g.parameter_bytes()) / 4.0, 61.1e6,
+              0.5e6);
+}
+
+TEST(Vgg16, StructureAndCost) {
+  const auto g = vgg16();
+  // 13 conv layers (x3 nodes) + 5 pools + flatten + 3 FC (2 ReLU) = 53.
+  EXPECT_EQ(g.n(), 53u);
+  // ~138M parameters.
+  EXPECT_NEAR(static_cast<double>(g.parameter_bytes()) / 4.0, 138.4e6,
+              1e6);
+  // ~15.5 GMAC of Table-I FLOPs.
+  EXPECT_NEAR(static_cast<double>(flops::graph_flops(g)) / 1e9, 15.5, 0.5);
+}
+
+TEST(ResNet18, ShapeAndParams) {
+  const auto g = resnet18();
+  EXPECT_EQ(g.output_desc().shape, (Shape{1, 1000}));
+  EXPECT_NEAR(static_cast<double>(g.parameter_bytes()) / 4.0, 11.7e6,
+              0.3e6);
+  EXPECT_NEAR(static_cast<double>(flops::graph_flops(g)) / 1e9, 1.8, 0.2);
+}
+
+TEST(ResNet50, ShapeAndParams) {
+  const auto g = resnet50();
+  EXPECT_NEAR(static_cast<double>(g.parameter_bytes()) / 4.0, 25.6e6,
+              0.5e6);
+  EXPECT_NEAR(static_cast<double>(flops::graph_flops(g)) / 1e9, 4.1, 0.3);
+}
+
+TEST(ResNet101And152, DeeperVariantsGrow) {
+  const auto g101 = resnet101();
+  const auto g152 = resnet152();
+  EXPECT_GT(g152.n(), g101.n());
+  EXPECT_GT(g101.n(), resnet50().n());
+  EXPECT_NEAR(static_cast<double>(g101.parameter_bytes()) / 4.0, 44.5e6,
+              1e6);
+  EXPECT_NEAR(static_cast<double>(g152.parameter_bytes()) / 4.0, 60.2e6,
+              1.5e6);
+}
+
+TEST(SqueezeNet, FireModulesAndTinyParams) {
+  const auto g = squeezenet();
+  EXPECT_EQ(g.input_desc().shape, (Shape{1, 3, 227, 227}));
+  // ~1.25M parameters — the point of SqueezeNet.
+  EXPECT_NEAR(static_cast<double>(g.parameter_bytes()) / 4.0, 1.25e6,
+              0.1e6);
+  // Fire concats exist.
+  int concats = 0;
+  for (graph::NodeId id : g.backbone())
+    if (g.node(id).op == OpType::kConcat) ++concats;
+  EXPECT_EQ(concats, 8);
+  // Backbone length is in the high-90s range of the paper's p axis.
+  EXPECT_GE(g.n(), 85u);
+  EXPECT_LE(g.n(), 100u);
+}
+
+TEST(Xception, DepthwiseNodesPresent) {
+  const auto g = xception();
+  EXPECT_EQ(g.input_desc().shape, (Shape{1, 3, 299, 299}));
+  int dw = 0;
+  for (graph::NodeId id : g.backbone())
+    if (g.node(id).op == OpType::kDWConv) ++dw;
+  // 2 per entry/exit block sep-conv + 3 per middle block x 8 + 2 exit.
+  EXPECT_EQ(dw, 34);
+  EXPECT_NEAR(static_cast<double>(g.parameter_bytes()) / 4.0, 22.9e6,
+              1.5e6);
+}
+
+TEST(InceptionV3, StructureMatchesReference) {
+  const auto g = inception_v3();
+  EXPECT_EQ(g.input_desc().shape, (Shape{1, 3, 299, 299}));
+  // 1.02 MB input, as quoted in Section III-D.
+  EXPECT_NEAR(static_cast<double>(g.input_desc().bytes()) / 1e6, 1.07,
+              0.02);
+  EXPECT_NEAR(static_cast<double>(g.parameter_bytes()) / 4.0, 23.8e6,
+              1.5e6);
+}
+
+TEST(InceptionV3, InteriorCutsNeverBeatBoundaries) {
+  // Section III-D: cutting inside an Inception block severs several branch
+  // tensors, so interior cuts always move more bytes than the best
+  // block-boundary cut — the observation that lets Algorithm 1 search only
+  // the topological order. (The paper quotes 1.25 MB as the cheapest cut
+  // inside the *last* block vs a 1.02 MB input; our graph's 8x8 blocks are
+  // a little leaner, but the ordering that matters to the algorithm holds.)
+  const auto g = inception_v3();
+  const auto s = graph::cut_sizes(g);
+  std::int64_t best_boundary = std::numeric_limits<std::int64_t>::max();
+  std::int64_t best_interior = std::numeric_limits<std::int64_t>::max();
+  for (std::size_t p = 0; p < g.n(); ++p) {
+    auto& slot =
+        graph::cut_inside_block(g, p) ? best_interior : best_boundary;
+    slot = std::min(slot, s[p]);
+  }
+  ASSERT_NE(best_interior, std::numeric_limits<std::int64_t>::max());
+  EXPECT_LT(best_boundary, best_interior);
+  // Interior cuts in the 17x17 and 35x35 stages exceed the input size, as
+  // the paper argues for the earlier blocks.
+  const auto input_bytes = g.input_desc().bytes();
+  std::int64_t min_early_interior = std::numeric_limits<std::int64_t>::max();
+  for (std::size_t p = 0; p < g.n(); ++p) {
+    if (!graph::cut_inside_block(g, p)) continue;
+    const auto& node = g.node(g.backbone()[p]);
+    if (node.output.shape.rank() == 4 && node.output.shape.h() >= 35)
+      min_early_interior = std::min(min_early_interior, s[p]);
+  }
+  EXPECT_GT(min_early_interior, input_bytes);
+}
+
+TEST(MobileNetV2, StructureMatchesReference) {
+  const auto g = mobilenet_v2();
+  EXPECT_EQ(g.input_desc().shape, (Shape{1, 3, 224, 224}));
+  // ~3.5M parameters, ~0.3 GMAC — the efficiency point of the family.
+  EXPECT_NEAR(static_cast<double>(g.parameter_bytes()) / 4.0, 3.5e6,
+              0.2e6);
+  EXPECT_NEAR(static_cast<double>(flops::graph_flops(g)) / 1e9, 0.32,
+              0.05);
+  // 17 inverted residual blocks -> 17 depthwise nodes.
+  int dw = 0, adds = 0;
+  for (graph::NodeId id : g.backbone()) {
+    if (g.node(id).op == OpType::kDWConv) ++dw;
+    if (g.node(id).op == OpType::kAdd) ++adds;
+  }
+  EXPECT_EQ(dw, 17);
+  EXPECT_EQ(adds, 10);  // stride-1 same-width blocks only
+}
+
+TEST(Zoo, BatchSizeScalesActivationsNotParameters) {
+  const auto b1 = alexnet(1000, 1);
+  const auto b4 = alexnet(1000, 4);
+  EXPECT_EQ(b4.input_desc().shape, (Shape{4, 3, 224, 224}));
+  EXPECT_EQ(b4.output_desc().shape, (Shape{4, 1000}));
+  EXPECT_EQ(b4.n(), b1.n());
+  // Weights are batch-independent; activations (and therefore cut sizes
+  // and FLOPs) scale linearly.
+  EXPECT_EQ(b4.parameter_bytes(), b1.parameter_bytes());
+  EXPECT_EQ(flops::graph_flops(b4), 4 * flops::graph_flops(b1));
+  const auto s1 = graph::cut_sizes(b1);
+  const auto s4 = graph::cut_sizes(b4);
+  for (std::size_t p = 0; p <= b1.n(); ++p)
+    EXPECT_EQ(s4[p], 4 * s1[p]) << p;
+}
+
+TEST(Zoo, BatchedModelsValidateAcrossTheZoo) {
+  for (auto builder : {resnet18, squeezenet, xception, inception_v3}) {
+    const auto g = builder(1000, 2);
+    g.validate();
+    EXPECT_EQ(g.input_desc().shape.n(), 2);
+  }
+}
+
+TEST(Zoo, ResNetInteriorCutsNeverBeatBlockBoundaries) {
+  // The Section III-D observation that justifies the O(n) search.
+  for (const char* name : {"resnet18", "resnet50", "squeezenet"}) {
+    SCOPED_TRACE(name);
+    const auto g = make_model(name);
+    const auto s = graph::cut_sizes(g);
+    // Best boundary cut (excluding p = n) vs best interior cut.
+    std::int64_t best_boundary = std::numeric_limits<std::int64_t>::max();
+    std::int64_t best_interior = std::numeric_limits<std::int64_t>::max();
+    for (std::size_t p = 0; p < g.n(); ++p) {
+      auto& slot =
+          graph::cut_inside_block(g, p) ? best_interior : best_boundary;
+      slot = std::min(slot, s[p]);
+    }
+    EXPECT_LT(best_boundary, best_interior);
+  }
+}
+
+}  // namespace
+}  // namespace lp::models

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "net/bandwidth_trace.h"
+#include "net/estimator.h"
+#include "net/link.h"
+
+namespace lp::net {
+namespace {
+
+TEST(BandwidthTrace, ConstantAndSteps) {
+  const auto c = BandwidthTrace::constant(mbps(8));
+  EXPECT_DOUBLE_EQ(c.bandwidth_at(0), mbps(8));
+  EXPECT_DOUBLE_EQ(c.bandwidth_at(seconds(1000)), mbps(8));
+
+  const BandwidthTrace t({{0, mbps(8)},
+                          {seconds(10), mbps(4)},
+                          {seconds(20), mbps(16)}});
+  EXPECT_DOUBLE_EQ(t.bandwidth_at(seconds(5)), mbps(8));
+  EXPECT_DOUBLE_EQ(t.bandwidth_at(seconds(10)), mbps(4));
+  EXPECT_DOUBLE_EQ(t.bandwidth_at(seconds(15)), mbps(4));
+  EXPECT_DOUBLE_EQ(t.bandwidth_at(seconds(25)), mbps(16));
+}
+
+TEST(BandwidthTrace, Fig6SweepShape) {
+  const auto t = BandwidthTrace::fig6_sweep(seconds(30));
+  ASSERT_EQ(t.steps().size(), 10u);
+  EXPECT_DOUBLE_EQ(t.steps().front().bandwidth, mbps(8));
+  EXPECT_DOUBLE_EQ(t.bandwidth_at(seconds(95)), mbps(1));   // the trough
+  EXPECT_DOUBLE_EQ(t.steps().back().bandwidth, mbps(64));
+}
+
+TEST(BandwidthTrace, GilbertElliottAlternatesAndIsDeterministic) {
+  const auto a = BandwidthTrace::gilbert_elliott(
+      seconds(300), mbps(16), mbps(0.5), seconds(25), seconds(8), 7);
+  const auto b = BandwidthTrace::gilbert_elliott(
+      seconds(300), mbps(16), mbps(0.5), seconds(25), seconds(8), 7);
+  ASSERT_EQ(a.steps().size(), b.steps().size());
+  ASSERT_GE(a.steps().size(), 4u);  // several bursts in 300 s
+  for (std::size_t i = 0; i < a.steps().size(); ++i) {
+    EXPECT_EQ(a.steps()[i].at, b.steps()[i].at);
+    EXPECT_DOUBLE_EQ(a.steps()[i].bandwidth, b.steps()[i].bandwidth);
+    // Strictly alternating good/bad starting good.
+    EXPECT_DOUBLE_EQ(a.steps()[i].bandwidth,
+                     i % 2 == 0 ? mbps(16) : mbps(0.5));
+  }
+  // Different seeds give different burst boundaries.
+  const auto c = BandwidthTrace::gilbert_elliott(
+      seconds(300), mbps(16), mbps(0.5), seconds(25), seconds(8), 8);
+  bool any_diff = c.steps().size() != a.steps().size();
+  for (std::size_t i = 1; !any_diff && i < std::min(a.steps().size(),
+                                                    c.steps().size());
+       ++i)
+    any_diff = a.steps()[i].at != c.steps()[i].at;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(BandwidthTrace, GilbertElliottDwellMeansRoughlyRespected) {
+  const auto t = BandwidthTrace::gilbert_elliott(
+      seconds(100000), mbps(10), mbps(1), seconds(30), seconds(10), 3);
+  double good_total = 0.0, bad_total = 0.0;
+  for (std::size_t i = 0; i + 1 < t.steps().size(); ++i) {
+    const double dwell =
+        to_seconds(t.steps()[i + 1].at - t.steps()[i].at);
+    (i % 2 == 0 ? good_total : bad_total) += dwell;
+  }
+  const double n = static_cast<double>(t.steps().size()) / 2.0;
+  EXPECT_NEAR(good_total / n, 30.0, 3.0);
+  EXPECT_NEAR(bad_total / n, 10.0, 1.5);
+}
+
+TEST(BandwidthTrace, RejectsBadInput) {
+  EXPECT_THROW(BandwidthTrace({}), ContractError);
+  EXPECT_THROW(BandwidthTrace({{0, 0.0}}), ContractError);
+  EXPECT_THROW(BandwidthTrace({{seconds(5), mbps(1)}, {0, mbps(2)}}),
+               ContractError);
+}
+
+sim::Task do_upload(net::Link& link, std::int64_t bytes, DurationNs& out) {
+  DurationNs measured = 0;
+  co_await link.upload(bytes, &measured);
+  out = measured;
+}
+
+TEST(Link, TransferTimeTracksBandwidth) {
+  sim::Simulator sim;
+  Link link(sim, BandwidthTrace::constant(mbps(8)),
+            BandwidthTrace::constant(mbps(8)), milliseconds(2), 3);
+  DurationNs measured = 0;
+  sim.spawn(do_upload(link, 1'000'000, measured));  // 1 MB at 8 Mbps ~ 1 s
+  sim.run();
+  EXPECT_GT(to_seconds(measured), 0.8);
+  EXPECT_LT(to_seconds(measured), 1.2);
+}
+
+TEST(Link, BandwidthChangeAffectsLaterTransfers) {
+  sim::Simulator sim;
+  const BandwidthTrace up({{0, mbps(8)}, {seconds(10), mbps(1)}});
+  Link link(sim, up, BandwidthTrace::constant(mbps(8)), 0, 3);
+  DurationNs early = 0, late = 0;
+  sim.spawn(do_upload(link, 500'000, early));
+  sim.call_after(seconds(12), [&] { sim.spawn(do_upload(link, 500'000, late)); });
+  sim.run();
+  EXPECT_GT(static_cast<double>(late) / static_cast<double>(early), 5.0);
+}
+
+TEST(Link, ZeroByteTransferCostsHalfRtt) {
+  sim::Simulator sim;
+  Link link(sim, BandwidthTrace::constant(mbps(8)),
+            BandwidthTrace::constant(mbps(8)), milliseconds(4), 3);
+  DurationNs measured = 0;
+  sim.spawn(do_upload(link, 0, measured));
+  sim.run();
+  EXPECT_EQ(measured, milliseconds(2));
+}
+
+TEST(Estimator, SeededBeforeSamples) {
+  BandwidthEstimator est(4, mbps(8));
+  EXPECT_DOUBLE_EQ(est.estimate(), mbps(8));
+  EXPECT_EQ(est.samples(), 0u);
+}
+
+TEST(Estimator, ConvergesToMeasuredBandwidth) {
+  BandwidthEstimator est(4, mbps(8));
+  // 1 Mbps transfers: 125000 bytes/s.
+  for (int i = 0; i < 6; ++i) est.add_transfer(125'000, seconds(1));
+  EXPECT_NEAR(est.estimate(), mbps(1), mbps(0.01));
+}
+
+TEST(Estimator, SlidingWindowForgetsOldRegime) {
+  BandwidthEstimator est(4, mbps(8));
+  for (int i = 0; i < 4; ++i) est.add_sample(mbps(1));
+  for (int i = 0; i < 4; ++i) est.add_sample(mbps(64));
+  EXPECT_NEAR(est.estimate(), mbps(64), mbps(0.5));
+}
+
+TEST(Estimator, ProbeSizeAdaptsAndClamps) {
+  BandwidthEstimator est(4, mbps(8));
+  const auto at8 = est.next_probe_bytes(milliseconds(25));
+  EXPECT_NEAR(static_cast<double>(at8), 8e6 / 8 * 0.025, 2000);
+  for (int i = 0; i < 4; ++i) est.add_sample(mbps(0.01));
+  EXPECT_EQ(est.next_probe_bytes(), 1024);  // lower clamp
+  for (int i = 0; i < 4; ++i) est.add_sample(mbps(10000));
+  EXPECT_EQ(est.next_probe_bytes(), 256 * 1024);  // upper clamp
+}
+
+TEST(Estimator, RejectsNonPositive) {
+  BandwidthEstimator est(4);
+  EXPECT_THROW(est.add_sample(0.0), ContractError);
+  EXPECT_THROW(est.add_transfer(0, seconds(1)), ContractError);
+}
+
+}  // namespace
+}  // namespace lp::net

@@ -1,0 +1,23 @@
+# Plots the per-inference time series exported by the figure benches.
+#
+# Usage:
+#   LP_CSV_DIR=out ./build/bench/fig9_load_timeseries
+#   gnuplot -e "csv='out/fig9_squeezenet_loadpart.csv'; png='fig9.png'" \
+#       tools/plot_series.gnuplot
+set datafile separator ","
+if (!exists("csv")) csv = "fig9_squeezenet_loadpart.csv"
+if (!exists("png")) png = "series.png"
+set terminal pngcairo size 1100,700
+set output png
+set key top left
+set xlabel "time (s)"
+
+set multiplot layout 3,1 title csv noenhanced
+set ylabel "end-to-end latency (ms)"
+plot csv using 1:3 skip 1 with points pt 7 ps 0.3 title "latency"
+set ylabel "partition point p"
+plot csv using 1:2 skip 1 with steps lw 2 title "p"
+set ylabel "k / bandwidth (Mbps)"
+plot csv using 1:8 skip 1 with lines lw 2 title "k", \
+     csv using 1:9 skip 1 with lines lw 2 title "bandwidth (Mbps)"
+unset multiplot
