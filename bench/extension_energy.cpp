@@ -6,13 +6,13 @@
 // less power than computing, so the energy optimum offloads *more*
 // aggressively than the latency optimum — most visibly at low bandwidth,
 // where latency-optimal LoADPart runs locally and burns several times the
-// energy of an energy-aware cut.
+// energy of an energy-aware cut. Runs through the serving FleetDriver as a
+// one-client fleet per (bandwidth, policy) cell.
 #include <cstdio>
 
 #include "common/table.h"
 #include "core/energy.h"
-#include "core/system.h"
-#include "models/zoo.h"
+#include "serve/fleet.h"
 
 int main() {
   using namespace lp;
@@ -36,22 +36,27 @@ int main() {
       for (core::Policy policy :
            {core::Policy::kLoadPart, core::Policy::kLocalOnly,
             core::Policy::kFullOffload}) {
-        core::ExperimentConfig config;
-        config.policy = policy;
-        config.upload = net::BandwidthTrace::constant(mbps(bw));
-        config.download = net::BandwidthTrace::constant(mbps(bw));
+        serve::FleetConfig config;
         config.duration = seconds(30);
         config.warmup = seconds(5);
         config.seed = 17;
-        const auto result = core::run_experiment(model, bundle, config);
+        serve::TenantSpec spec;
+        spec.model = name;
+        spec.policy = policy;
+        spec.upload = net::BandwidthTrace::constant(mbps(bw));
+        spec.download = net::BandwidthTrace::constant(mbps(bw));
+        spec.request_gap = milliseconds(15);
+        config.tenants.push_back(spec);
+        const auto result = serve::run_fleet(config, bundle);
+        const auto summary = result.summarize(0);
         std::vector<core::InferenceRecord> steady;
         for (const auto* rec : result.steady()) steady.push_back(*rec);
         table.add_row({Table::num(bw, 0) + " Mbps",
                        core::policy_name(policy),
-                       Table::num(result.mean_latency_sec() * 1e3),
+                       Table::num(summary.mean_ms),
                        Table::num(core::mean_energy_joules(steady, energy),
                                   2),
-                       std::to_string(result.modal_p()),
+                       std::to_string(summary.modal_p),
                        std::to_string(oracle_p)});
       }
     }

@@ -1,0 +1,186 @@
+// Serving-layer claims: under overload, deadline-aware queueing plus
+// admission control beats FIFO-without-admission on tail latency for the
+// requests it serves, and suffix batching raises served throughput.
+//
+// Both comparisons hold the offered load fixed (same tenants, same arrival
+// processes, same seeds) and vary only the frontend configuration. A final
+// section re-runs one configuration twice to show the record streams are
+// bit-identical given the seed.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "serve/fleet.h"
+
+namespace {
+
+using namespace lp;
+
+void print_config_row(Table& table, const std::string& name,
+                      const serve::FleetResult& result) {
+  const auto s = result.summarize();
+  const double steady_sec = to_seconds(result.duration - result.warmup);
+  table.add_row(
+      {name, std::to_string(s.requests), Table::num(s.admitted_p90_ms),
+       Table::num(s.admitted_mean_ms), Table::num(s.p90_ms),
+       Table::num(s.shed_rate * 100.0, 1) + "%",
+       Table::num(s.slo_miss_rate * 100.0, 1) + "%",
+       Table::num(static_cast<double>(s.admitted) / steady_sec, 1)});
+}
+
+/// Overloaded fleet of load-oblivious clients: 32 AlexNet devices that keep
+/// offloading no matter what (Neurosurgeon), so the offered load is the
+/// same under every frontend policy.
+serve::FleetConfig overload_config() {
+  serve::FleetConfig config;
+  config.duration = seconds(60);
+  config.warmup = seconds(20);
+  config.seed = 7;
+  serve::TenantSpec spec;
+  spec.model = "alexnet";
+  spec.clients = 32;
+  spec.policy = core::Policy::kNeurosurgeon;
+  // Fast links so queueing (not transfer time) dominates the latency.
+  spec.upload = net::BandwidthTrace::constant(mbps(100));
+  spec.download = net::BandwidthTrace::constant(mbps(100));
+  spec.request_gap = milliseconds(5);
+  spec.poisson_arrivals = true;
+  spec.slo_sec = 0.25;
+  config.tenants.push_back(spec);
+  return config;
+}
+
+void scheduling_comparison(const core::PredictorBundle& bundle) {
+  std::printf(
+      "Overload scheduling: 32 load-oblivious AlexNet clients (Poisson "
+      "arrivals, mean gap 5 ms, SLO 250 ms) vs frontend policy\n\n");
+  Table table({"frontend", "requests", "admitted p90(ms)", "admitted mean",
+               "p90 all(ms)", "shed", "SLO miss", "served/s"});
+
+  {
+    serve::FleetConfig config = overload_config();
+    config.frontend.policy = serve::QueuePolicy::kFifo;
+    config.frontend.admission_control = false;
+    print_config_row(table, "FIFO, no admission",
+                     serve::run_fleet(config, bundle));
+  }
+  {
+    serve::FleetConfig config = overload_config();
+    config.frontend.policy = serve::QueuePolicy::kEdf;
+    config.frontend.admission_control = true;
+    config.frontend.delay_budget_sec = 0.15;
+    print_config_row(table, "EDF + admission (150 ms budget)",
+                     serve::run_fleet(config, bundle));
+  }
+  {
+    serve::FleetConfig config = overload_config();
+    config.frontend.policy = serve::QueuePolicy::kSpjf;
+    config.frontend.admission_control = true;
+    config.frontend.delay_budget_sec = 0.15;
+    print_config_row(table, "SPJF + admission (150 ms budget)",
+                     serve::run_fleet(config, bundle));
+  }
+  table.print();
+  std::printf(
+      "Reading: FIFO without admission serves everything and lets the "
+      "queue absorb the overload, so every admitted request pays the "
+      "backlog. Admission sheds the excess at arrival (the shed requests "
+      "degrade to on-device execution) and EDF orders what remains by "
+      "deadline, cutting the admitted p90 severalfold at equal offered "
+      "load.\n\n");
+}
+
+/// Homogeneous ResNet fleet pinned to one partition point so every suffix
+/// job is batch-compatible; only the batching knobs vary.
+serve::FleetConfig batching_config(std::size_t fixed_p) {
+  serve::FleetConfig config;
+  config.duration = seconds(60);
+  config.warmup = seconds(20);
+  config.seed = 21;
+  config.runtime.fixed_p = fixed_p;
+  serve::TenantSpec spec;
+  spec.model = "resnet18";
+  spec.clients = 16;
+  spec.policy = core::Policy::kFixedPoint;
+  spec.upload = net::BandwidthTrace::constant(mbps(100));
+  spec.download = net::BandwidthTrace::constant(mbps(100));
+  spec.request_gap = milliseconds(2);
+  config.tenants.push_back(spec);
+  return config;
+}
+
+void batching_comparison(const core::PredictorBundle& bundle) {
+  // Full offload (p = 0): every client streams the input frame and the GPU
+  // runs the whole dispatch-dominated graph, so the GPU is the bottleneck
+  // and coalescing identical suffixes is where the win is.
+  const std::size_t fixed_p = 0;
+  std::printf(
+      "Suffix batching: 16 ResNet18 clients pinned at p = 0 (full "
+      "offload, 100 Mbps links, request every 2 ms)\n\n");
+  Table table({"frontend", "served/s", "admitted p90(ms)", "batched share",
+               "dispatches"});
+  for (const std::size_t max_batch : {std::size_t{1}, std::size_t{4},
+                                      std::size_t{8}}) {
+    serve::FleetConfig config = batching_config(fixed_p);
+    config.frontend.max_batch = max_batch;
+    config.frontend.batch_window =
+        max_batch > 1 ? milliseconds(2) : DurationNs{0};
+    const auto result = serve::run_fleet(config, bundle);
+    const auto s = result.summarize();
+    const double steady_sec = to_seconds(result.duration - result.warmup);
+    const double batched_share =
+        result.served > 0 ? 100.0 * static_cast<double>(result.batched_jobs) /
+                                static_cast<double>(result.served)
+                          : 0.0;
+    table.add_row(
+        {max_batch == 1 ? std::string("no batching")
+                        : "batch <= " + std::to_string(max_batch) + ", 2 ms",
+         Table::num(static_cast<double>(s.admitted) / steady_sec, 1),
+         Table::num(s.admitted_p90_ms),
+         Table::num(batched_share, 1) + "%",
+         std::to_string(result.dispatches)});
+  }
+  table.print();
+  std::printf(
+      "Reading: each coalesced dispatch pays the per-op framework dispatch "
+      "once for the whole batch, so the GPU serves several suffixes in "
+      "little more than the time of one — served/s rises with the batch "
+      "bound while the per-request latency also drops because the queue "
+      "drains faster.\n\n");
+}
+
+void determinism_check(const core::PredictorBundle& bundle) {
+  serve::FleetConfig config = overload_config();
+  config.frontend.policy = serve::QueuePolicy::kEdf;
+  config.frontend.admission_control = true;
+  config.duration = seconds(20);
+  config.warmup = seconds(5);
+  const auto a = serve::run_fleet(config, bundle);
+  const auto b = serve::run_fleet(config, bundle);
+  bool identical = a.clients.size() == b.clients.size();
+  std::size_t records = 0;
+  for (std::size_t i = 0; identical && i < a.clients.size(); ++i) {
+    const auto& ra = a.clients[i].records;
+    const auto& rb = b.clients[i].records;
+    identical = ra.size() == rb.size();
+    records += ra.size();
+    for (std::size_t j = 0; identical && j < ra.size(); ++j)
+      identical = ra[j].start == rb[j].start && ra[j].p == rb[j].p &&
+                  ra[j].total_sec == rb[j].total_sec &&
+                  ra[j].outcome == rb[j].outcome;
+  }
+  std::printf("Determinism: two runs with seed %llu -> %zu records, %s\n",
+              static_cast<unsigned long long>(config.seed), records,
+              identical ? "bit-identical" : "DIVERGED");
+}
+
+}  // namespace
+
+int main() {
+  const auto bundle = core::train_default_predictors();
+  scheduling_comparison(bundle);
+  batching_comparison(bundle);
+  determinism_check(bundle);
+  return 0;
+}

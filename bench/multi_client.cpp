@@ -3,215 +3,96 @@
 // The paper motivates load awareness with edge servers that grow busy as
 // more devices offload to them. Here the background load IS other
 // LoADPart clients: N devices (each with its own WiFi link, bandwidth
-// estimator and k tracker) share one GPU. As N grows, every client's k
-// rises and its partition point retreats toward the device; a
+// estimator and per-session k) offload through one serve::EdgeServerFrontend
+// sharing one GPU. As N grows, every client's k rises with the frontend
+// queue and its partition point retreats toward the device; a
 // load-oblivious fleet (Neurosurgeon) keeps offloading into the
 // congestion.
 #include <cstdio>
-#include <iterator>
 #include <string>
-#include <map>
-#include <memory>
 #include <vector>
 
 #include "common/table.h"
-#include "core/offload_runtime.h"
-#include "models/zoo.h"
+#include "serve/fleet.h"
 
 namespace {
 
 using namespace lp;
 
-struct ClientRig {
-  std::unique_ptr<net::Link> link;
-  std::unique_ptr<core::OffloadServer> server;
-  std::unique_ptr<core::OffloadClient> client;
-  std::vector<core::InferenceRecord> records;
-};
-
-sim::Task request_stream(sim::Simulator& sim, core::OffloadClient& client,
-                         std::vector<core::InferenceRecord>& out) {
-  for (;;) {
-    core::InferenceRecord rec;
-    co_await client.infer(&rec);
-    out.push_back(rec);
-    co_await sim.delay(milliseconds(5));
-  }
+serve::FleetConfig base_config() {
+  serve::FleetConfig config;
+  config.frontend.policy = serve::QueuePolicy::kFifo;
+  config.frontend.queue_capacity = 256;
+  config.duration = seconds(90);
+  config.warmup = seconds(30);
+  config.seed = 1000;
+  return config;
 }
 
-struct FleetResult {
-  double mean_ms = 0.0;
-  double p90_ms = 0.0;
-  std::size_t modal_p = 0;
-  double mean_k = 1.0;
-};
-
-FleetResult run_fleet(int clients, core::Policy policy,
-                      const graph::Graph& model,
-                      const core::PredictorBundle& bundle) {
-  sim::Simulator sim;
-  const hw::CpuModel cpu;
-  const hw::GpuModel gpu;
-  hw::GpuScheduler scheduler(sim);
-  const core::GraphCostProfile profile(model, bundle);
-  core::RuntimeParams params;
-
-  std::vector<ClientRig> rigs(static_cast<std::size_t>(clients));
-  for (int i = 0; i < clients; ++i) {
-    auto& rig = rigs[static_cast<std::size_t>(i)];
-    const auto seed = static_cast<std::uint64_t>(1000 + i);
-    rig.link = std::make_unique<net::Link>(
-        sim, net::BandwidthTrace::constant(mbps(8)),
-        net::BandwidthTrace::constant(mbps(8)), milliseconds(2), seed);
-    rig.server = std::make_unique<core::OffloadServer>(
-        sim, scheduler, gpu, profile, params, seed ^ 0x5e);
-    rig.server->start_gpu_watcher(seconds(10));
-    rig.client = std::make_unique<core::OffloadClient>(
-        sim, cpu, profile, *rig.link, *rig.server, policy, params,
-        seed ^ 0xc1);
-    rig.client->start_runtime_profiler(seconds(5));
-    sim.spawn(request_stream(sim, *rig.client, rig.records));
-  }
-  sim.run_until(seconds(90));
-
-  FleetResult result;
-  std::vector<double> latencies;
-  std::map<std::size_t, int> p_counts;
-  double k_total = 0.0;
-  std::size_t k_count = 0;
-  for (const auto& rig : rigs) {
-    for (const auto& rec : rig.records) {
-      if (rec.start < seconds(30)) continue;  // settle
-      latencies.push_back(rec.total_sec * 1e3);
-      ++p_counts[rec.p];
-      k_total += rec.k_used;
-      ++k_count;
-    }
-  }
-  if (latencies.empty()) return result;
-  result.mean_ms = mean_of(latencies);
-  result.p90_ms = percentile(latencies, 90);
-  int best = -1;
-  for (const auto& [p, count] : p_counts)
-    if (count > best) {
-      best = count;
-      result.modal_p = p;
-    }
-  result.mean_k = k_total / static_cast<double>(k_count);
-  return result;
+serve::TenantSummary run_homogeneous(int clients, core::Policy policy,
+                                     const core::PredictorBundle& bundle) {
+  serve::FleetConfig config = base_config();
+  serve::TenantSpec spec;
+  spec.model = "alexnet";
+  spec.clients = clients;
+  spec.policy = policy;
+  spec.request_gap = milliseconds(5);
+  config.tenants.push_back(spec);
+  return serve::run_fleet(config, bundle).summarize(0);
 }
 
-}  // namespace
-
-namespace {
-
-/// Heterogeneous fleet: per-model client counts sharing one GPU.
+/// Heterogeneous fleet: per-model client counts sharing one frontend.
 void run_mixed_fleet(const core::PredictorBundle& bundle) {
-  using namespace lp;
+  serve::FleetConfig config = base_config();
   struct Tenant {
     const char* model;
     int clients;
   };
   const Tenant tenants[] = {
       {"alexnet", 8}, {"squeezenet", 8}, {"vgg16", 4}, {"resnet50", 4}};
-
-  sim::Simulator sim;
-  const hw::CpuModel cpu;
-  const hw::GpuModel gpu;
-  hw::GpuScheduler scheduler(sim);
-  core::RuntimeParams params;
-
-  struct Group {
-    std::string name;
-    graph::Graph model;
-    std::unique_ptr<core::GraphCostProfile> profile;
-    std::vector<ClientRig> rigs;
-  };
-  std::vector<Group> groups;
-  groups.reserve(std::size(tenants));
-  int seed = 0;
-  for (const auto& tenant : tenants) {
-    groups.push_back(
-        Group{tenant.model, models::make_model(tenant.model), nullptr, {}});
-    // The profile points into the group's graph; build it only once the
-    // group has its final address.
-    auto& group = groups.back();
-    group.profile =
-        std::make_unique<core::GraphCostProfile>(group.model, bundle);
-    group.rigs.resize(static_cast<std::size_t>(tenant.clients));
+  for (const Tenant& tenant : tenants) {
+    serve::TenantSpec spec;
+    spec.model = tenant.model;
+    spec.clients = tenant.clients;
+    spec.request_gap = milliseconds(5);
+    config.tenants.push_back(spec);
   }
-  for (auto& group : groups) {
-    for (auto& rig : group.rigs) {
-      const auto s = static_cast<std::uint64_t>(5000 + seed++);
-      rig.link = std::make_unique<net::Link>(
-          sim, net::BandwidthTrace::constant(mbps(8)),
-          net::BandwidthTrace::constant(mbps(8)), milliseconds(2), s);
-      rig.server = std::make_unique<core::OffloadServer>(
-          sim, scheduler, gpu, *group.profile, params, s ^ 0x5e);
-      rig.server->start_gpu_watcher(seconds(10));
-      rig.client = std::make_unique<core::OffloadClient>(
-          sim, cpu, *group.profile, *rig.link, *rig.server,
-          core::Policy::kLoadPart, params, s ^ 0xc1);
-      rig.client->start_runtime_profiler(seconds(5));
-      sim.spawn(request_stream(sim, *rig.client, rig.records));
-    }
-  }
-  sim.run_until(seconds(90));
+  const auto result = serve::run_fleet(config, bundle);
 
   std::printf(
-      "\nHeterogeneous fleet on one GPU (LoADPart everywhere, 8 Mbps "
+      "\nHeterogeneous fleet on one frontend (LoADPart everywhere, 8 Mbps "
       "links): per-tenant steady state\n\n");
-  Table table({"tenant", "clients", "mean(ms)", "p (modal)", "k", "n"});
-  for (const auto& group : groups) {
-    std::vector<double> latencies;
-    std::map<std::size_t, int> p_counts;
-    double k_total = 0.0;
-    for (const auto& rig : group.rigs) {
-      for (const auto& rec : rig.records) {
-        if (rec.start < seconds(30)) continue;
-        latencies.push_back(rec.total_sec * 1e3);
-        ++p_counts[rec.p];
-        k_total += rec.k_used;
-      }
-    }
-    if (latencies.empty()) continue;
-    std::size_t modal = 0;
-    int best = -1;
-    for (const auto& [p, c] : p_counts)
-      if (c > best) {
-        best = c;
-        modal = p;
-      }
-    table.add_row({group.name,
-                   std::to_string(group.rigs.size()),
-                   Table::num(mean_of(latencies)), std::to_string(modal),
-                   Table::num(k_total / static_cast<double>(latencies.size()),
-                              1),
-                   std::to_string(group.model.n())});
+  Table table({"tenant", "clients", "mean(ms)", "p (modal)", "k"});
+  for (std::size_t t = 0; t < config.tenants.size(); ++t) {
+    const auto s = result.summarize(static_cast<int>(t));
+    if (s.requests == 0) continue;
+    table.add_row({s.name, std::to_string(config.tenants[t].clients),
+                   Table::num(s.mean_ms), std::to_string(s.modal_p),
+                   Table::num(s.mean_k, 1)});
   }
   table.print();
   std::printf(
-      "Reading: every tenant sees the same congested GPU through its own "
-      "k; the weight-light models retreat toward the device first while "
-      "VGG16 (device-hopeless) keeps offloading and absorbs the "
-      "queueing.\n");
+      "Reading: every tenant sees the same congested frontend through its "
+      "own session k; the weight-light models retreat toward the device "
+      "first while VGG16 (device-hopeless) keeps offloading and absorbs "
+      "the queueing.\n");
 }
 
 }  // namespace
 
 int main() {
   const auto bundle = core::train_default_predictors();
-  const auto model = models::alexnet();
 
   std::printf(
-      "Multi-client contention: N AlexNet devices sharing one edge GPU "
-      "(8 Mbps each, request every 5 ms; steady state of a 90 s run)\n\n");
+      "Multi-client contention: N AlexNet devices offloading through one "
+      "edge frontend (8 Mbps each, request every 5 ms; steady state of a "
+      "90 s run)\n\n");
   Table table({"clients", "LoADPart mean(ms)", "p90", "p", "k",
                "Neurosurgeon mean(ms)", "p90", "p", "reduction"});
   for (int n : {1, 4, 8, 16, 24, 32}) {
-    const auto lp_r = run_fleet(n, core::Policy::kLoadPart, model, bundle);
+    const auto lp_r = run_homogeneous(n, core::Policy::kLoadPart, bundle);
     const auto ns_r =
-        run_fleet(n, core::Policy::kNeurosurgeon, model, bundle);
+        run_homogeneous(n, core::Policy::kNeurosurgeon, bundle);
     table.add_row(
         {std::to_string(n), Table::num(lp_r.mean_ms),
          Table::num(lp_r.p90_ms), std::to_string(lp_r.modal_p),
@@ -222,9 +103,9 @@ int main() {
   table.print();
   std::printf(
       "\nReading: with few clients both policies offload aggressively; as "
-      "the fleet grows, LoADPart's k rises and its cut retreats toward the "
-      "device (p -> 19/27), while Neurosurgeon keeps shipping work into "
-      "the congested GPU.\n");
+      "the fleet grows, LoADPart's per-session k folds in the frontend "
+      "queueing delay and its cut retreats toward the device, while "
+      "Neurosurgeon keeps shipping work into the congested queue.\n");
   run_mixed_fleet(bundle);
   return 0;
 }

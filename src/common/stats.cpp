@@ -70,8 +70,9 @@ double SlidingWindow::latest() const {
 }
 
 double percentile(std::vector<double> values, double q) {
-  LP_CHECK(!values.empty());
-  LP_CHECK(q >= 0.0 && q <= 100.0);
+  LP_CHECK_MSG(!values.empty(), "percentile of an empty sample");
+  LP_CHECK_MSG(!std::isnan(q), "percentile quantile is NaN");
+  q = std::clamp(q, 0.0, 100.0);
   std::sort(values.begin(), values.end());
   const double rank = q / 100.0 * static_cast<double>(values.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);

@@ -52,8 +52,9 @@ class SlidingWindow {
   double sum_ = 0.0;
 };
 
-/// Percentile of a sample set (linear interpolation). q in [0, 100].
-/// Requires non-empty input; does not modify the argument.
+/// Percentile of a sample set (linear interpolation). q is clamped to
+/// [0, 100] (NaN is a contract violation). Requires non-empty input; does
+/// not modify the argument.
 double percentile(std::vector<double> values, double q);
 
 /// Arithmetic mean of a non-empty vector.

@@ -7,6 +7,18 @@
 
 namespace lp::core {
 
+const char* outcome_name(InferenceOutcome outcome) {
+  switch (outcome) {
+    case InferenceOutcome::kLocalDecision:
+      return "local";
+    case InferenceOutcome::kAdmitted:
+      return "admitted";
+    case InferenceOutcome::kDegradedLocal:
+      return "degraded";
+  }
+  return "?";
+}
+
 std::string policy_name(Policy policy) {
   switch (policy) {
     case Policy::kLoadPart:
@@ -49,11 +61,13 @@ OffloadServer::OffloadServer(sim::Simulator& sim, hw::GpuScheduler& scheduler,
   sim_->spawn(service());
 }
 
-void OffloadServer::submit(SuffixRequest request) {
+SubmitStatus OffloadServer::submit(SuffixRequest request) {
   LP_CHECK(request.done != nullptr);
   LP_CHECK_MSG(request.p < profile_->n(),
                "nothing to execute on the server at p = n");
+  request.enqueued = sim_->now();
   requests_.send(request);
+  return SubmitStatus::kAccepted;
 }
 
 sim::Task OffloadServer::service() {
@@ -61,6 +75,8 @@ sim::Task OffloadServer::service() {
   // signal the result ready for download.
   for (;;) {
     const SuffixRequest request = co_await requests_.receive();
+    if (request.queue_wait_seconds != nullptr)
+      *request.queue_wait_seconds = to_seconds(sim_->now() - request.enqueued);
     co_await execute_suffix(request.p, request.exec_seconds,
                             request.overhead_seconds);
     request.done->trigger();
@@ -134,8 +150,9 @@ sim::Task OffloadServer::gpu_watcher(DurationNs period) {
 
 OffloadClient::OffloadClient(sim::Simulator& sim, const hw::CpuModel& cpu,
                              const GraphCostProfile& profile, net::Link& link,
-                             OffloadServer& server, Policy policy,
-                             RuntimeParams params, std::uint64_t seed)
+                             SuffixService& server, Policy policy,
+                             RuntimeParams params, std::uint64_t seed,
+                             std::uint64_t session)
     : sim_(&sim),
       cpu_(&cpu),
       profile_(&profile),
@@ -143,6 +160,7 @@ OffloadClient::OffloadClient(sim::Simulator& sim, const hw::CpuModel& cpu,
       server_(&server),
       policy_(policy),
       params_(params),
+      session_(session),
       estimator_(params.bandwidth_window),
       cache_(params.cache_capacity),
       infer_slot_(sim, 1),
@@ -263,18 +281,45 @@ sim::Task OffloadClient::infer(InferenceRecord* out) {
     // sliding window alongside the active probes.
     estimator_.add_transfer(payload, upload_ns);
 
-    double exec = 0.0, server_overhead = 0.0;
+    double exec = 0.0, server_overhead = 0.0, queue_wait = 0.0;
     sim::Event result_ready(*sim_);
-    server_->submit(SuffixRequest{p, &result_ready, &exec,
-                                  &server_overhead});
-    co_await result_ready.wait();
-    rec.server_sec = exec;
-    rec.overhead_sec += server_overhead;
+    SuffixRequest request;
+    request.p = p;
+    request.done = &result_ready;
+    request.exec_seconds = &exec;
+    request.overhead_seconds = &server_overhead;
+    request.queue_wait_seconds = &queue_wait;
+    request.session = session_;
+    if (params_.slo_sec > 0.0)
+      request.deadline = rec.start + seconds(params_.slo_sec);
+    request.predicted_sec = rec.k_used * profile_->suffix_g(p);
+    request.bandwidth_bps = estimator_.estimate();
+    if (server_->submit(request) == SubmitStatus::kAccepted) {
+      co_await result_ready.wait();
+      rec.server_sec = exec;
+      rec.overhead_sec += server_overhead;
+      rec.queue_wait_sec = queue_wait;
+      rec.outcome = InferenceOutcome::kAdmitted;
 
-    DurationNs down_ns = 0;
-    co_await link_->download(g.output_desc().bytes(), &down_ns);
-    rec.download_sec = to_seconds(down_ns);
-    rec.download_bytes = g.output_desc().bytes();
+      DurationNs down_ns = 0;
+      co_await link_->download(g.output_desc().bytes(), &down_ns);
+      rec.download_sec = to_seconds(down_ns);
+      rec.download_bytes = g.output_desc().bytes();
+    } else {
+      // "Server busy": the frontend shed the request. Degrade by finishing
+      // the suffix {Lp+1..Ln} on the device (the uploaded tensors are
+      // wasted work) and treat the shed as a load signal.
+      rec.outcome = InferenceOutcome::kDegradedLocal;
+      if (policy_ == Policy::kLoadPart)
+        k_cached_ = std::min(k_cached_ * params_.reject_k_backoff, 1e6);
+      const DurationNs base = cpu_->segment_time(g, p + 1, n);
+      const DurationNs actual = std::max<DurationNs>(
+          1, static_cast<DurationNs>(
+                 static_cast<double>(base) *
+                 jitter_scale(rng_, cpu_->params().jitter_frac)));
+      co_await sim_->delay(actual);
+      rec.device_sec += to_seconds(actual);
+    }
   }
 
   rec.total_sec = to_seconds(sim_->now() - rec.start);
@@ -299,7 +344,7 @@ sim::Task OffloadClient::runtime_profiler(DurationNs period) {
     // message, one round trip). The Neurosurgeon baseline keeps only the
     // first (idle-calibration) value.
     co_await link_->upload(params_.header_bytes, nullptr);
-    const double k = server_->current_k();
+    const double k = server_->session_k(session_);
     co_await link_->download(params_.header_bytes, nullptr);
     if (policy_ != Policy::kNeurosurgeon || !k_fetched_once_) {
       k_cached_ = k;

@@ -66,7 +66,28 @@ struct RuntimeParams {
   bool weights_preloaded = true;
   double gpu_util_threshold = 0.90;  // watcher threshold (Section IV)
   std::int64_t header_bytes = 128;   // partition point + tensor metadata
+
+  /// Per-request latency SLO (serving layer): each offload request carries
+  /// the absolute deadline start + slo_sec for deadline-aware queueing and
+  /// SLO accounting. 0 disables deadlines.
+  double slo_sec = 0.0;
+
+  /// Multiplicative bump applied to the cached k when the serving frontend
+  /// sheds a request ("server busy"): the shed reply is itself a load
+  /// signal, so the client backs off toward local execution until the next
+  /// profiler fetch re-syncs with the server's published k. Applied to
+  /// Policy::kLoadPart only (load-oblivious baselines stay oblivious).
+  double reject_k_backoff = 1.5;
 };
+
+/// What happened to one inference request at the serving layer.
+enum class InferenceOutcome : std::uint8_t {
+  kLocalDecision,  ///< the policy chose p = n; nothing left the device
+  kAdmitted,       ///< the suffix was admitted and served by the edge
+  kDegradedLocal,  ///< shed by the server; the suffix re-ran on the device
+};
+
+const char* outcome_name(InferenceOutcome outcome);
 
 /// Everything measured about one inference (a sample of Figs. 1/2/6-9).
 struct InferenceRecord {
@@ -84,6 +105,8 @@ struct InferenceRecord {
   double k_used = 1.0;
   double bandwidth_est_bps = 0.0;
   double predicted_sec = 0.0;
+  InferenceOutcome outcome = InferenceOutcome::kLocalDecision;
+  double queue_wait_sec = 0.0;  ///< server-side time from arrival to dispatch
 };
 
 /// An offloading request as it arrives at the server-side service
@@ -96,21 +119,56 @@ struct SuffixRequest {
   sim::Event* done = nullptr;      ///< triggered when the result is ready
   double* exec_seconds = nullptr;  ///< out: measured (contended) GPU time
   double* overhead_seconds = nullptr;  ///< out: partition-cache miss cost
+  double* queue_wait_seconds = nullptr;  ///< out: arrival-to-dispatch wait
+
+  // Serving-layer metadata (ignored by the plain OffloadServer).
+  std::uint64_t session = 0;   ///< frontend session of the requesting client
+  TimeNs deadline = 0;         ///< absolute deadline for EDF; 0 = none
+  double predicted_sec = 0.0;  ///< client's k-adjusted suffix prediction
+  double bandwidth_bps = 0.0;  ///< client's current bandwidth estimate
+  TimeNs enqueued = 0;         ///< filled by the service on arrival
 };
 
-class OffloadServer {
+/// Verdict of the server-side admission check, returned synchronously from
+/// submit(). On kRejected ("server busy") nothing was enqueued and the
+/// client must complete the inference on the device.
+enum class SubmitStatus : std::uint8_t { kAccepted, kRejected };
+
+/// The server-side interface the client offloads through: either the
+/// paper's single-tenant OffloadServer (admits everything) or the
+/// multi-tenant serve::EdgeServerFrontend (sessions, admission control,
+/// deadline queueing, suffix batching).
+class SuffixService {
+ public:
+  virtual ~SuffixService() = default;
+
+  /// Admission decision is synchronous; on kAccepted the caller waits on
+  /// request.done, on kRejected it degrades to local execution.
+  virtual SubmitStatus submit(SuffixRequest request) = 0;
+
+  /// Latest influential factor published for this session (the value the
+  /// device runtime profiler fetches).
+  virtual double session_k(std::uint64_t session) const = 0;
+};
+
+class OffloadServer : public SuffixService {
  public:
   OffloadServer(sim::Simulator& sim, hw::GpuScheduler& scheduler,
                 const hw::GpuModel& gpu, const GraphCostProfile& profile,
                 RuntimeParams params, std::uint64_t seed);
 
   /// Enqueues a request for the service process (Fig. 3: the main thread
-  /// providing the offloading service). The caller waits on request.done.
-  /// Requires request.p < n and a non-null done event.
-  void submit(SuffixRequest request);
+  /// providing the offloading service). Always admits; the caller waits on
+  /// request.done. Requires request.p < n and a non-null done event.
+  SubmitStatus submit(SuffixRequest request) override;
 
   /// k as the runtime profiler would report it right now.
   double current_k() const { return k_.k(); }
+
+  /// The single-tenant server publishes one k for every session.
+  double session_k(std::uint64_t /*session*/) const override {
+    return current_k();
+  }
 
   /// Spawns the GPU-utilization watcher (Section IV), checking every
   /// `period` and resetting k when utilization < threshold.
@@ -141,10 +199,13 @@ class OffloadServer {
 
 class OffloadClient {
  public:
+  /// `session` identifies this client to a multi-tenant SuffixService
+  /// (serve::EdgeServerFrontend::open_session); the single-tenant
+  /// OffloadServer ignores it.
   OffloadClient(sim::Simulator& sim, const hw::CpuModel& cpu,
                 const GraphCostProfile& profile, net::Link& link,
-                OffloadServer& server, Policy policy, RuntimeParams params,
-                std::uint64_t seed);
+                SuffixService& server, Policy policy, RuntimeParams params,
+                std::uint64_t seed, std::uint64_t session = 0);
 
   /// Performs one end-to-end inference; fills *out.
   sim::Task infer(InferenceRecord* out);
@@ -168,9 +229,10 @@ class OffloadClient {
   const hw::CpuModel* cpu_;
   const GraphCostProfile* profile_;
   net::Link* link_;
-  OffloadServer* server_;
+  SuffixService* server_;
   Policy policy_;
   RuntimeParams params_;
+  std::uint64_t session_ = 0;
   net::BandwidthEstimator estimator_;
   partition::PartitionCache cache_;
   /// Serializes overlapping infer() calls: the device runs one inference

@@ -55,6 +55,12 @@ struct GpuModelParams {
   double saturation_elems = 2.0e5;
 
   double jitter_frac = 0.03;
+
+  // Marginal compute cost of each extra sample in a coalesced suffix batch,
+  // as a fraction of the single-sample kernel body. Batching amortizes the
+  // per-op framework dispatch (paid once per batch) and improves occupancy,
+  // so each added sample costs less than a full kernel.
+  double batch_compute_frac = 0.8;
 };
 
 struct GpuSchedulerParams {

@@ -39,6 +39,15 @@ class GpuModel {
   DurationNs segment_time(const graph::Graph& g, std::size_t begin,
                           std::size_t end) const;
 
+  /// Like segment_kernels, but for a coalesced batch of `batch` identical
+  /// suffix jobs executed as one dispatch per node: the framework dispatch
+  /// is paid once per node and each extra sample adds batch_compute_frac of
+  /// the single-sample kernel body (serving-layer suffix batching).
+  std::vector<DurationNs> batched_segment_kernels(const graph::Graph& g,
+                                                  std::size_t begin,
+                                                  std::size_t end,
+                                                  std::size_t batch) const;
+
   /// Like segment_kernels, but with framework operator fusion enabled
   /// (extension; see graph/fusion.h): each fusion group executes as a
   /// single kernel — the anchor's full cost, a small residual for the

@@ -38,16 +38,24 @@ std::size_t GpuScheduler::pending_kernels() const {
 
 sim::Task GpuScheduler::run_job(ContextId ctx,
                                 std::vector<DurationNs> kernels) {
+  return run_batch(ctx, std::move(kernels), 1);
+}
+
+sim::Task GpuScheduler::run_batch(ContextId ctx,
+                                  std::vector<DurationNs> kernels,
+                                  std::size_t fanout) {
   LP_CHECK(ctx >= 0 && static_cast<std::size_t>(ctx) < contexts_.size());
   LP_CHECK_MSG(!kernels.empty(), "job must contain at least one kernel");
-  return run_job_impl(ctx, std::move(kernels));
+  LP_CHECK_MSG(fanout >= 1, "a dispatch serves at least one job");
+  return run_job_impl(ctx, std::move(kernels), fanout);
 }
 
 sim::Task GpuScheduler::run_job_impl(ContextId ctx,
-                                     std::vector<DurationNs> kernels) {
+                                     std::vector<DurationNs> kernels,
+                                     std::size_t fanout) {
   sim::Event done(*sim_);
   contexts_[static_cast<std::size_t>(ctx)].jobs.push_back(
-      Job{std::move(kernels), 0, &done});
+      Job{std::move(kernels), 0, &done, fanout});
   work_arrived_.trigger();
   co_await done.wait();
 }
@@ -79,8 +87,9 @@ sim::Task GpuScheduler::engine() {
       ++completed_kernels_;
       if (++job.next == job.kernels.size()) {
         job.done->trigger();
+        completed_jobs_ += job.fanout;
+        if (job.fanout > 1) coalesced_jobs_ += job.fanout;
         ctx.jobs.pop_front();
-        ++completed_jobs_;
       }
     }
   }

@@ -39,6 +39,13 @@ class GpuScheduler {
   /// non-empty job) are checked eagerly.
   sim::Task run_job(ContextId ctx, std::vector<DurationNs> kernels);
 
+  /// Runs a coalesced batch: one in-order kernel stream executed once on
+  /// behalf of `fanout` logical jobs (the serving layer's suffix batching).
+  /// Accounting-wise the dispatch retires `fanout` jobs; run_job(ctx, k) is
+  /// run_batch(ctx, k, 1).
+  sim::Task run_batch(ContextId ctx, std::vector<DurationNs> kernels,
+                      std::size_t fanout);
+
   /// Cumulative busy time (sum of executed kernel durations).
   DurationNs busy_ns() const { return busy_ns_; }
 
@@ -47,6 +54,8 @@ class GpuScheduler {
 
   std::uint64_t completed_kernels() const { return completed_kernels_; }
   std::uint64_t completed_jobs() const { return completed_jobs_; }
+  /// Jobs retired through batched dispatches with fanout > 1.
+  std::uint64_t coalesced_jobs() const { return coalesced_jobs_; }
 
   /// Total kernels currently queued across all contexts.
   std::size_t pending_kernels() const;
@@ -56,13 +65,15 @@ class GpuScheduler {
     std::vector<DurationNs> kernels;
     std::size_t next = 0;
     sim::Event* done = nullptr;
+    std::size_t fanout = 1;
   };
   struct Context {
     std::string name;
     std::deque<Job> jobs;
   };
 
-  sim::Task run_job_impl(ContextId ctx, std::vector<DurationNs> kernels);
+  sim::Task run_job_impl(ContextId ctx, std::vector<DurationNs> kernels,
+                         std::size_t fanout);
   sim::Task engine();
   bool any_work() const;
   int next_context_with_work(int after) const;
@@ -74,6 +85,7 @@ class GpuScheduler {
   DurationNs busy_ns_ = 0;
   std::uint64_t completed_kernels_ = 0;
   std::uint64_t completed_jobs_ = 0;
+  std::uint64_t coalesced_jobs_ = 0;
   int rr_cursor_ = -1;
 };
 

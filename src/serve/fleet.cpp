@@ -1,0 +1,206 @@
+#include "serve/fleet.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.h"
+#include "common/stats.h"
+#include "common/table.h"
+
+namespace lp::serve {
+
+namespace {
+
+struct ArrivalParams {
+  DurationNs gap = 0;
+  bool poisson = false;
+};
+
+sim::Task client_stream(sim::Simulator& sim, core::OffloadClient& client,
+                        ArrivalParams arrivals, Rng rng,
+                        std::vector<core::InferenceRecord>& out) {
+  for (;;) {
+    core::InferenceRecord rec;
+    co_await client.infer(&rec);
+    out.push_back(rec);
+    DurationNs gap = arrivals.gap;
+    if (arrivals.poisson && gap > 0)
+      gap = std::max<DurationNs>(
+          1, static_cast<DurationNs>(
+                 rng.exponential(static_cast<double>(gap))));
+    if (gap > 0) co_await sim.delay(gap);
+  }
+}
+
+}  // namespace
+
+std::vector<const core::InferenceRecord*> FleetResult::steady(
+    int tenant) const {
+  std::vector<const core::InferenceRecord*> out;
+  for (const ClientTrace& trace : clients) {
+    if (tenant >= 0 && trace.tenant != static_cast<std::size_t>(tenant))
+      continue;
+    for (const core::InferenceRecord& rec : trace.records)
+      if (rec.start >= warmup) out.push_back(&rec);
+  }
+  return out;
+}
+
+double FleetResult::requests_per_sec() const {
+  const auto rs = steady();
+  const double window = to_seconds(duration - warmup);
+  if (window <= 0.0) return 0.0;
+  return static_cast<double>(rs.size()) / window;
+}
+
+TenantSummary FleetResult::summarize(int tenant) const {
+  TenantSummary s;
+  s.name = tenant < 0 ? "fleet"
+                      : tenant_names[static_cast<std::size_t>(tenant)];
+
+  std::vector<double> all_ms, admitted_ms;
+  std::map<std::size_t, int> p_counts;
+  double k_total = 0.0, wait_total = 0.0;
+  std::size_t slo_misses = 0;
+  for (const ClientTrace& trace : clients) {
+    if (tenant >= 0 && trace.tenant != static_cast<std::size_t>(tenant))
+      continue;
+    const double slo = tenant_slo_sec[trace.tenant];
+    for (const core::InferenceRecord& rec : trace.records) {
+      if (rec.start < warmup) continue;
+      all_ms.push_back(rec.total_sec * 1e3);
+      ++p_counts[rec.p];
+      k_total += rec.k_used;
+      switch (rec.outcome) {
+        case core::InferenceOutcome::kAdmitted:
+          ++s.admitted;
+          admitted_ms.push_back(rec.total_sec * 1e3);
+          wait_total += rec.queue_wait_sec;
+          break;
+        case core::InferenceOutcome::kDegradedLocal:
+          ++s.degraded;
+          break;
+        case core::InferenceOutcome::kLocalDecision:
+          ++s.local;
+          break;
+      }
+      if (slo > 0.0 && rec.total_sec > slo) ++slo_misses;
+    }
+  }
+  if (all_ms.empty()) return s;
+  s.requests = all_ms.size();
+  s.mean_ms = mean_of(all_ms);
+  s.p90_ms = percentile(all_ms, 90);
+  if (!admitted_ms.empty()) {
+    s.admitted_mean_ms = mean_of(admitted_ms);
+    s.admitted_p90_ms = percentile(admitted_ms, 90);
+    s.mean_queue_wait_ms =
+        wait_total / static_cast<double>(s.admitted) * 1e3;
+  }
+  s.mean_k = k_total / static_cast<double>(s.requests);
+  int best = -1;
+  for (const auto& [p, count] : p_counts)
+    if (count > best) {
+      best = count;
+      s.modal_p = p;
+    }
+  s.shed_rate =
+      static_cast<double>(s.degraded) / static_cast<double>(s.requests);
+  s.slo_miss_rate =
+      static_cast<double>(slo_misses) / static_cast<double>(s.requests);
+  const double window = to_seconds(duration - warmup);
+  if (window > 0.0)
+    s.requests_per_sec = static_cast<double>(s.requests) / window;
+  return s;
+}
+
+std::vector<std::string> TenantSummary::table_row(int latency_digits) const {
+  return {name,
+          std::to_string(requests),
+          Table::num(mean_ms, latency_digits),
+          Table::num(p90_ms, latency_digits),
+          Table::num(admitted_p90_ms, latency_digits),
+          Table::num(shed_rate * 100.0, 1) + "%",
+          Table::num(mean_queue_wait_ms, latency_digits),
+          std::to_string(modal_p),
+          Table::num(mean_k, 1)};
+}
+
+FleetResult run_fleet(const FleetConfig& config,
+                      const core::PredictorBundle& predictors) {
+  LP_CHECK(!config.tenants.empty());
+  LP_CHECK(config.duration > 0);
+
+  sim::Simulator sim;
+  const hw::CpuModel cpu;
+  const hw::GpuModel gpu;
+  hw::GpuScheduler scheduler(sim);
+  EdgeServerFrontend frontend(sim, scheduler, gpu, config.frontend,
+                              config.runtime, config.seed ^ 0xf00d);
+  frontend.start_gpu_watcher(config.watcher_period);
+
+  struct TenantState {
+    graph::Graph model;
+    std::unique_ptr<core::GraphCostProfile> profile;
+  };
+  std::vector<std::unique_ptr<TenantState>> tenants;
+  std::vector<std::unique_ptr<net::Link>> links;
+  std::vector<std::unique_ptr<core::OffloadClient>> clients;
+
+  FleetResult result;
+  result.warmup = config.warmup;
+  result.duration = config.duration;
+  std::size_t total_clients = 0;
+  for (const TenantSpec& spec : config.tenants) {
+    LP_CHECK(spec.clients > 0);
+    total_clients += static_cast<std::size_t>(spec.clients);
+  }
+  // Reserve up front: the spawned streams hold references into the traces.
+  result.clients.reserve(total_clients);
+
+  std::uint64_t index = 0;
+  for (std::size_t t = 0; t < config.tenants.size(); ++t) {
+    const TenantSpec& spec = config.tenants[t];
+    result.tenant_names.push_back(spec.model);
+    result.tenant_slo_sec.push_back(spec.slo_sec);
+    auto state = std::unique_ptr<TenantState>(
+        new TenantState{models::make_model(spec.model), nullptr});
+    state->profile =
+        std::make_unique<core::GraphCostProfile>(state->model, predictors);
+    const core::GraphCostProfile& profile = *state->profile;
+    tenants.push_back(std::move(state));
+
+    core::RuntimeParams runtime = config.runtime;
+    runtime.slo_sec = spec.slo_sec;
+    for (int c = 0; c < spec.clients; ++c) {
+      ++index;
+      const std::uint64_t seed =
+          config.seed ^ (0x9e3779b97f4a7c15ull * (index + 1));
+      links.push_back(std::make_unique<net::Link>(
+          sim, spec.upload, spec.download, spec.rtt, seed ^ 0x71));
+      const std::uint64_t session = frontend.open_session(profile);
+      clients.push_back(std::make_unique<core::OffloadClient>(
+          sim, cpu, profile, *links.back(), frontend, spec.policy, runtime,
+          seed ^ 0xc1, session));
+      clients.back()->start_runtime_profiler(config.profiler_period);
+      result.clients.push_back(ClientTrace{t, {}});
+      sim.spawn(client_stream(
+          sim, *clients.back(),
+          ArrivalParams{spec.request_gap, spec.poisson_arrivals},
+          Rng(seed ^ 0xa1), result.clients.back().records));
+    }
+  }
+
+  sim.run_until(config.duration);
+
+  result.submitted = frontend.submitted();
+  result.admitted = frontend.admitted();
+  result.shed = frontend.shed();
+  result.served = frontend.served();
+  result.dispatches = frontend.dispatches();
+  result.batched_dispatches = frontend.batched_dispatches();
+  result.batched_jobs = frontend.batched_jobs();
+  return result;
+}
+
+}  // namespace lp::serve

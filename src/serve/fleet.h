@@ -1,0 +1,105 @@
+// FleetDriver: spawns a heterogeneous fleet of offloading clients against
+// one EdgeServerFrontend and collects per-request records.
+//
+// This replaces the ad-hoc "ClientRig" wiring the multi-client benches used
+// to copy-paste: each tenant describes a model, a client count, a link, an
+// arrival process and an SLO; run_fleet() builds the simulated testbed
+// (shared GPU scheduler, one frontend, per-client links and sessions), runs
+// it for the configured duration, and returns every InferenceRecord plus
+// frontend-level counters. Deterministic given config.seed.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/zoo.h"
+#include "net/bandwidth_trace.h"
+#include "serve/frontend.h"
+
+namespace lp::serve {
+
+/// One homogeneous group of clients (same model, link class and workload).
+struct TenantSpec {
+  std::string model = "alexnet";  ///< zoo name (models::make_model)
+  int clients = 1;
+  core::Policy policy = core::Policy::kLoadPart;
+  net::BandwidthTrace upload = net::BandwidthTrace::constant(mbps(8));
+  net::BandwidthTrace download = net::BandwidthTrace::constant(mbps(8));
+  DurationNs rtt = milliseconds(2);
+  /// Think time between a completed inference and the next request.
+  DurationNs request_gap = milliseconds(5);
+  /// Draw the think time exponentially with mean request_gap (Poisson-ish
+  /// arrivals) instead of a fixed gap.
+  bool poisson_arrivals = false;
+  /// Per-request latency SLO: sets the EDF deadline and SLO accounting.
+  /// 0 = no deadline.
+  double slo_sec = 0.0;
+};
+
+struct FleetConfig {
+  std::vector<TenantSpec> tenants;
+  FrontendParams frontend;
+  core::RuntimeParams runtime;
+  DurationNs duration = seconds(90);
+  DurationNs warmup = seconds(30);  ///< excluded from summaries
+  DurationNs profiler_period = seconds(5);
+  DurationNs watcher_period = seconds(10);
+  std::uint64_t seed = 1;
+};
+
+/// The record stream of one client, tagged with its tenant index.
+struct ClientTrace {
+  std::size_t tenant = 0;
+  std::vector<core::InferenceRecord> records;
+};
+
+/// Steady-state summary of one tenant (or of the whole fleet).
+struct TenantSummary {
+  std::string name;
+  std::size_t requests = 0;
+  std::size_t admitted = 0;  ///< outcome kAdmitted
+  std::size_t degraded = 0;  ///< shed by the frontend, finished locally
+  std::size_t local = 0;     ///< the policy chose p = n
+  double mean_ms = 0.0;      ///< over every completed request
+  double p90_ms = 0.0;
+  double admitted_mean_ms = 0.0;  ///< over admitted requests only
+  double admitted_p90_ms = 0.0;
+  double mean_queue_wait_ms = 0.0;  ///< admitted requests
+  double mean_k = 1.0;
+  std::size_t modal_p = 0;
+  double shed_rate = 0.0;      ///< degraded / requests
+  double slo_miss_rate = 0.0;  ///< total_sec > slo_sec (0 when no SLO)
+  double requests_per_sec = 0.0;
+
+  std::vector<std::string> table_row(int latency_digits = 1) const;
+};
+
+struct FleetResult {
+  std::vector<ClientTrace> clients;
+  std::vector<std::string> tenant_names;
+  std::vector<double> tenant_slo_sec;
+  DurationNs warmup = 0;
+  DurationNs duration = 0;
+
+  // Frontend counters at the end of the run.
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t served = 0;
+  std::uint64_t dispatches = 0;
+  std::uint64_t batched_dispatches = 0;
+  std::uint64_t batched_jobs = 0;
+
+  /// Steady-state records of one tenant, or of every tenant (-1).
+  std::vector<const core::InferenceRecord*> steady(int tenant = -1) const;
+  TenantSummary summarize(int tenant = -1) const;
+  /// Completed requests per second of steady-state time.
+  double requests_per_sec() const;
+};
+
+/// Runs the fleet; deterministic given config.seed.
+FleetResult run_fleet(const FleetConfig& config,
+                      const core::PredictorBundle& predictors);
+
+}  // namespace lp::serve

@@ -1,0 +1,237 @@
+#include "serve/frontend.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "partition/partitioner.h"
+
+namespace lp::serve {
+
+namespace {
+/// Multiplicative jitter factor, clamped away from zero (matches the
+/// OffloadServer's executor jitter).
+double jitter_scale(Rng& rng, double frac) {
+  return std::max(0.2, 1.0 + frac * rng.normal());
+}
+}  // namespace
+
+EdgeServerFrontend::EdgeServerFrontend(sim::Simulator& sim,
+                                       hw::GpuScheduler& scheduler,
+                                       const hw::GpuModel& gpu,
+                                       FrontendParams params,
+                                       core::RuntimeParams runtime,
+                                       std::uint64_t seed)
+    : sim_(&sim),
+      scheduler_(&scheduler),
+      gpu_(&gpu),
+      params_(params),
+      runtime_(runtime),
+      ctx_(scheduler.create_context("serve-frontend")),
+      queue_(params.policy, params.queue_capacity),
+      work_arrived_(sim),
+      rng_(seed) {
+  LP_CHECK(params_.max_batch >= 1);
+  sim_->spawn(service());
+}
+
+std::uint64_t EdgeServerFrontend::open_session(
+    const core::GraphCostProfile& profile) {
+  sessions_.push_back(Session{&profile,
+                              core::LoadFactorTracker(runtime_.k_window),
+                              partition::PartitionCache(
+                                  runtime_.cache_capacity),
+                              net::BandwidthEstimator(
+                                  runtime_.bandwidth_window)});
+  return sessions_.size() - 1;
+}
+
+double EdgeServerFrontend::session_k(std::uint64_t session) const {
+  LP_CHECK(session < sessions_.size());
+  return sessions_[session].k.k();
+}
+
+const partition::PartitionCache& EdgeServerFrontend::session_cache(
+    std::uint64_t session) const {
+  LP_CHECK(session < sessions_.size());
+  return sessions_[session].cache;
+}
+
+double EdgeServerFrontend::session_bandwidth_bps(
+    std::uint64_t session) const {
+  LP_CHECK(session < sessions_.size());
+  return sessions_[session].bandwidth.estimate();
+}
+
+double EdgeServerFrontend::predicted_queue_delay_sec() const {
+  return queue_.predicted_backlog_sec() + in_flight_sec_;
+}
+
+core::SubmitStatus EdgeServerFrontend::submit(core::SuffixRequest request) {
+  LP_CHECK(request.done != nullptr);
+  LP_CHECK(request.session < sessions_.size());
+  Session& session = sessions_[request.session];
+  LP_CHECK_MSG(request.p < session.profile->n(),
+               "nothing to execute on the server at p = n");
+  ++submitted_;
+  ++session.submitted;
+  if (request.bandwidth_bps > 0.0)
+    session.bandwidth.add_sample(request.bandwidth_bps);
+
+  // Load shedding: a full queue always sheds; with admission control on,
+  // so does a predicted queue delay beyond the budget. The server-side
+  // prediction uses the session's own k, not the client's.
+  const double predicted =
+      session.k.k() * session.profile->suffix_g(request.p);
+  const bool over_budget =
+      params_.admission_control &&
+      predicted_queue_delay_sec() > params_.delay_budget_sec;
+  if (queue_.full() || over_budget) {
+    ++shed_;
+    ++session.shed;
+    return core::SubmitStatus::kRejected;
+  }
+
+  QueuedJob job;
+  job.seq = next_seq_++;
+  job.session = request.session;
+  job.profile = session.profile;
+  job.p = request.p;
+  job.deadline = request.deadline;
+  job.enqueued = sim_->now();
+  job.predicted_sec = predicted;
+  job.bandwidth_bps = request.bandwidth_bps;
+  job.done = request.done;
+  job.exec_seconds = request.exec_seconds;
+  job.overhead_seconds = request.overhead_seconds;
+  job.queue_wait_seconds = request.queue_wait_seconds;
+  LP_CHECK(queue_.push(job));
+  ++admitted_;
+  ++session.admitted;
+  work_arrived_.trigger();
+  return core::SubmitStatus::kAccepted;
+}
+
+sim::Task EdgeServerFrontend::service() {
+  for (;;) {
+    while (queue_.empty()) {
+      work_arrived_.reset();
+      co_await work_arrived_.wait();
+    }
+    // Batching window: give compatible jobs a chance to arrive before the
+    // dispatch is formed (a latency-for-throughput trade).
+    if (params_.max_batch > 1 && params_.batch_window > 0)
+      co_await sim_->delay(params_.batch_window);
+
+    std::vector<QueuedJob> batch;
+    batch.push_back(queue_.pop_next());
+    if (params_.max_batch > 1)
+      queue_.take_matching(batch.front().profile, batch.front().p,
+                           params_.max_batch - 1, &batch);
+    co_await execute_batch(std::move(batch));
+  }
+}
+
+sim::Task EdgeServerFrontend::execute_batch(std::vector<QueuedJob> batch) {
+  const core::GraphCostProfile& profile = *batch.front().profile;
+  const graph::Graph& g = profile.graph();
+  const std::size_t n = profile.n();
+  const std::size_t p = batch.front().p;
+  const TimeNs dispatch_time = sim_->now();
+
+  for (const QueuedJob& job : batch)
+    if (job.queue_wait_seconds != nullptr)
+      *job.queue_wait_seconds = to_seconds(dispatch_time - job.enqueued);
+
+  in_flight_sec_ = 0.0;
+  for (const QueuedJob& job : batch)
+    in_flight_sec_ = std::max(in_flight_sec_, job.predicted_sec);
+
+  // Partition caches are per session; one runtime preparation covers the
+  // whole batch (it shares (model, p)), and every member session that
+  // missed stores the plan.
+  double overhead = 0.0;
+  bool miss = false;
+  for (const QueuedJob& job : batch)
+    if (sessions_[job.session].cache.find(p) == nullptr) miss = true;
+  if (miss) {
+    auto plan = partition::partition_at(g, p);
+    const std::size_t nodes =
+        plan.server_part ? plan.server_part->backbone().size() : 0;
+    overhead = runtime_.server_partition_base_sec +
+               runtime_.server_partition_per_node_sec *
+                   static_cast<double>(nodes);
+    co_await sim_->delay(seconds(overhead));
+    for (const QueuedJob& job : batch) {
+      Session& session = sessions_[job.session];
+      if (session.cache.find(p) == nullptr)
+        session.cache.insert(partition::partition_at(g, p));
+    }
+  }
+  for (const QueuedJob& job : batch)
+    if (job.overhead_seconds != nullptr) *job.overhead_seconds = overhead;
+
+  // One GPU dispatch for the whole batch.
+  auto kernels =
+      batch.size() > 1
+          ? gpu_->batched_segment_kernels(g, p + 1, n, batch.size())
+          : (runtime_.fused_server_kernels
+                 ? gpu_->fused_segment_kernels(g, p + 1, n)
+                 : gpu_->segment_kernels(g, p + 1, n));
+  const double jf = gpu_->params().jitter_frac;
+  for (auto& k : kernels)
+    k = std::max<DurationNs>(
+        1, static_cast<DurationNs>(static_cast<double>(k) *
+                                   jitter_scale(rng_, jf)));
+  const bool gpu_contended = scheduler_->pending_kernels() > 4;
+  const TimeNs begin = sim_->now();
+  co_await scheduler_->run_batch(ctx_, std::move(kernels), batch.size());
+  const double exec = to_seconds(sim_->now() - begin);
+  const TimeNs finished = sim_->now();
+
+  ++dispatches_;
+  served_ += batch.size();
+  if (batch.size() > 1) {
+    ++batched_dispatches_;
+    batched_jobs_ += batch.size();
+  }
+
+  const double predicted = profile.suffix_g(p);
+  for (const QueuedJob& job : batch) {
+    if (job.exec_seconds != nullptr) *job.exec_seconds = exec;
+    // The session's k tracks the full service time (queue wait included):
+    // at the frontend, load manifests as queueing, and k is the signal
+    // that carries it back into the client's partition decision.
+    const double service = to_seconds(finished - job.enqueued);
+    // Waiting longer than the batching window means the queue was the
+    // bottleneck, not the coalescing delay.
+    const bool contended =
+        gpu_contended ||
+        dispatch_time - job.enqueued > params_.batch_window;
+    if (predicted > 0.0)
+      sessions_[job.session].k.record(service, predicted, contended);
+    job.done->trigger();
+  }
+  in_flight_sec_ = 0.0;
+}
+
+void EdgeServerFrontend::start_gpu_watcher(DurationNs period) {
+  watcher_busy_mark_ = scheduler_->busy_ns();
+  watcher_time_mark_ = sim_->now();
+  sim_->spawn(gpu_watcher(period));
+}
+
+sim::Task EdgeServerFrontend::gpu_watcher(DurationNs period) {
+  LP_CHECK(period > 0);
+  for (;;) {
+    co_await sim_->delay(period);
+    const DurationNs busy = scheduler_->busy_ns();
+    const double util = static_cast<double>(busy - watcher_busy_mark_) /
+                        static_cast<double>(sim_->now() - watcher_time_mark_);
+    watcher_busy_mark_ = busy;
+    watcher_time_mark_ = sim_->now();
+    if (util < runtime_.gpu_util_threshold)
+      for (Session& session : sessions_) session.k.reset_idle();
+  }
+}
+
+}  // namespace lp::serve

@@ -1,0 +1,133 @@
+// Multi-tenant edge serving frontend.
+//
+// One EdgeServerFrontend owns the GPU on behalf of many offloading clients
+// (the serving-system view of the paper's edge server, which "grows busy as
+// more devices offload to it"). It replaces the per-client OffloadServer
+// duplication with:
+//   * per-client sessions — each holds the client's influential factor k,
+//     its last-reported bandwidth estimate, and its partition cache;
+//   * a bounded request queue with pluggable ordering (FIFO / EDF / SPJF);
+//   * admission control: when the predicted queue delay (backlog of
+//     k-adjusted predictions plus the in-flight dispatch) exceeds a budget,
+//     new requests are shed with a synchronous "server busy" reply, which
+//     the client answers by degrading to local execution — and, for
+//     LoADPart clients, by backing k off upward;
+//   * suffix batching: compatible jobs — identical (model, partition point)
+//     — are coalesced into one GPU dispatch, amortizing the per-op
+//     framework dispatch cost across the batch.
+//
+// The influential factor of a session is measured against the *service*
+// time (queue wait + preparation + execution): in the serving architecture
+// the load signal a client feels is queueing at the frontend, not kernel
+// interleaving, so k folds the queue in and the LoADPart feedback loop
+// (k up -> partition retreats -> load drops) closes through the queue.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "core/offload_runtime.h"
+#include "serve/queue.h"
+
+namespace lp::serve {
+
+struct FrontendParams {
+  QueuePolicy policy = QueuePolicy::kFifo;
+
+  /// Bounded queue: arrivals beyond this are shed unconditionally.
+  std::size_t queue_capacity = 64;
+
+  /// Load shedding: reject when the predicted queue delay exceeds the
+  /// budget (admission_control = false only sheds on a full queue).
+  bool admission_control = false;
+  double delay_budget_sec = 0.25;
+
+  /// Suffix batching: coalesce up to max_batch compatible jobs per GPU
+  /// dispatch; with batch_window > 0 the dispatcher waits that long after
+  /// finding work so batch-mates can arrive. max_batch = 1 disables it.
+  std::size_t max_batch = 1;
+  DurationNs batch_window = 0;
+};
+
+class EdgeServerFrontend : public core::SuffixService {
+ public:
+  EdgeServerFrontend(sim::Simulator& sim, hw::GpuScheduler& scheduler,
+                     const hw::GpuModel& gpu, FrontendParams params,
+                     core::RuntimeParams runtime, std::uint64_t seed);
+
+  /// Registers a client; the returned session id goes into the client's
+  /// SuffixRequests (and the OffloadClient constructor). The profile must
+  /// outlive the frontend.
+  std::uint64_t open_session(const core::GraphCostProfile& profile);
+
+  /// Admission decision, synchronously: shed when the queue is full or the
+  /// predicted queue delay exceeds the budget; otherwise enqueue.
+  core::SubmitStatus submit(core::SuffixRequest request) override;
+
+  /// The session's published influential factor (>= 1).
+  double session_k(std::uint64_t session) const override;
+
+  /// Spawns the GPU-utilization watcher: when utilization over a period
+  /// falls below the threshold, every session's k resets to its idle
+  /// baseline (Section IV, per session).
+  void start_gpu_watcher(DurationNs period);
+
+  /// Predicted delay a new arrival would see: queued backlog plus the
+  /// remaining in-flight dispatch.
+  double predicted_queue_delay_sec() const;
+
+  std::size_t sessions() const { return sessions_.size(); }
+  std::size_t queue_depth() const { return queue_.size(); }
+  std::uint64_t submitted() const { return submitted_; }
+  std::uint64_t admitted() const { return admitted_; }
+  std::uint64_t shed() const { return shed_; }
+  std::uint64_t served() const { return served_; }
+  std::uint64_t dispatches() const { return dispatches_; }
+  /// Dispatches that coalesced more than one job.
+  std::uint64_t batched_dispatches() const { return batched_dispatches_; }
+  /// Jobs served through coalesced dispatches.
+  std::uint64_t batched_jobs() const { return batched_jobs_; }
+
+  const partition::PartitionCache& session_cache(std::uint64_t session) const;
+  double session_bandwidth_bps(std::uint64_t session) const;
+
+ private:
+  struct Session {
+    const core::GraphCostProfile* profile;
+    core::LoadFactorTracker k;
+    partition::PartitionCache cache;
+    net::BandwidthEstimator bandwidth;
+    std::uint64_t submitted = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t shed = 0;
+  };
+
+  sim::Task service();
+  sim::Task execute_batch(std::vector<QueuedJob> batch);
+  sim::Task gpu_watcher(DurationNs period);
+
+  sim::Simulator* sim_;
+  hw::GpuScheduler* scheduler_;
+  const hw::GpuModel* gpu_;
+  FrontendParams params_;
+  core::RuntimeParams runtime_;
+  hw::GpuScheduler::ContextId ctx_;
+  std::deque<Session> sessions_;  // deque: stable across open_session
+  RequestQueue queue_;
+  sim::Event work_arrived_;
+  Rng rng_;
+  std::uint64_t next_seq_ = 0;
+  double in_flight_sec_ = 0.0;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t shed_ = 0;
+  std::uint64_t served_ = 0;
+  std::uint64_t dispatches_ = 0;
+  std::uint64_t batched_dispatches_ = 0;
+  std::uint64_t batched_jobs_ = 0;
+  DurationNs watcher_busy_mark_ = 0;
+  TimeNs watcher_time_mark_ = 0;
+};
+
+}  // namespace lp::serve

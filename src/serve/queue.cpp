@@ -1,0 +1,81 @@
+#include "serve/queue.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace lp::serve {
+
+std::string queue_policy_name(QueuePolicy policy) {
+  switch (policy) {
+    case QueuePolicy::kFifo:
+      return "FIFO";
+    case QueuePolicy::kEdf:
+      return "EDF";
+    case QueuePolicy::kSpjf:
+      return "SPJF";
+  }
+  return "?";
+}
+
+RequestQueue::RequestQueue(QueuePolicy policy, std::size_t capacity)
+    : policy_(policy), capacity_(capacity) {
+  LP_CHECK(capacity > 0);
+}
+
+bool RequestQueue::push(QueuedJob job) {
+  if (full()) return false;
+  backlog_sec_ += job.predicted_sec;
+  jobs_.push_back(job);
+  return true;
+}
+
+bool RequestQueue::before(const QueuedJob& a, const QueuedJob& b) const {
+  switch (policy_) {
+    case QueuePolicy::kFifo:
+      break;  // seq tie-break below is the whole order
+    case QueuePolicy::kEdf: {
+      constexpr TimeNs kNone = std::numeric_limits<TimeNs>::max();
+      const TimeNs da = a.deadline == 0 ? kNone : a.deadline;
+      const TimeNs db = b.deadline == 0 ? kNone : b.deadline;
+      if (da != db) return da < db;
+      break;
+    }
+    case QueuePolicy::kSpjf:
+      if (a.predicted_sec != b.predicted_sec)
+        return a.predicted_sec < b.predicted_sec;
+      break;
+  }
+  return a.seq < b.seq;
+}
+
+QueuedJob RequestQueue::pop_next() {
+  LP_CHECK(!jobs_.empty());
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < jobs_.size(); ++i)
+    if (before(jobs_[i], jobs_[best])) best = i;
+  QueuedJob job = jobs_[best];
+  jobs_.erase(jobs_.begin() + static_cast<std::ptrdiff_t>(best));
+  backlog_sec_ = std::max(0.0, backlog_sec_ - job.predicted_sec);
+  return job;
+}
+
+void RequestQueue::take_matching(const core::GraphCostProfile* profile,
+                                 std::size_t p, std::size_t limit,
+                                 std::vector<QueuedJob>* out) {
+  LP_CHECK(out != nullptr);
+  std::size_t taken = 0;
+  for (std::size_t i = 0; i < jobs_.size() && taken < limit;) {
+    if (jobs_[i].profile == profile && jobs_[i].p == p) {
+      backlog_sec_ = std::max(0.0, backlog_sec_ - jobs_[i].predicted_sec);
+      out->push_back(jobs_[i]);
+      jobs_.erase(jobs_.begin() + static_cast<std::ptrdiff_t>(i));
+      ++taken;
+    } else {
+      ++i;
+    }
+  }
+}
+
+}  // namespace lp::serve

@@ -1,0 +1,82 @@
+// Bounded request queue of the serving frontend with pluggable ordering.
+//
+// Jobs are suffix-execution requests waiting for the GPU dispatcher. The
+// queue is bounded (push fails when full — the caller sheds) and orders
+// dispatch by one of three policies:
+//   * kFifo  — arrival order (the paper's implicit single-queue service);
+//   * kEdf   — earliest deadline first (deadline 0 = no deadline, last);
+//   * kSpjf  — shortest predicted job first, using the k-adjusted
+//              PredictorBundle estimate carried by each request.
+// Ties always break by arrival sequence, keeping dispatch deterministic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/predictor.h"
+#include "common/units.h"
+
+namespace lp::sim {
+class Event;
+}  // namespace lp::sim
+
+namespace lp::serve {
+
+enum class QueuePolicy { kFifo, kEdf, kSpjf };
+
+std::string queue_policy_name(QueuePolicy policy);
+
+/// A suffix job parked in the frontend queue.
+struct QueuedJob {
+  std::uint64_t seq = 0;      ///< arrival sequence (FIFO order, tie-break)
+  std::uint64_t session = 0;  ///< owning session
+  const core::GraphCostProfile* profile = nullptr;  ///< the model served
+  std::size_t p = 0;                                ///< partition point
+  TimeNs deadline = 0;                              ///< absolute; 0 = none
+  TimeNs enqueued = 0;
+  double predicted_sec = 0.0;  ///< k-adjusted suffix prediction (SPJF key)
+  double bandwidth_bps = 0.0;  ///< client-reported bandwidth estimate
+  sim::Event* done = nullptr;
+  double* exec_seconds = nullptr;
+  double* overhead_seconds = nullptr;
+  double* queue_wait_seconds = nullptr;
+};
+
+class RequestQueue {
+ public:
+  RequestQueue(QueuePolicy policy, std::size_t capacity);
+
+  QueuePolicy policy() const { return policy_; }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return jobs_.size(); }
+  bool empty() const { return jobs_.empty(); }
+  bool full() const { return jobs_.size() >= capacity_; }
+
+  /// Enqueues the job; false (and the job is dropped) when full.
+  bool push(QueuedJob job);
+
+  /// Removes and returns the next job under the queue policy. Requires
+  /// !empty().
+  QueuedJob pop_next();
+
+  /// Removes up to `limit` jobs batch-compatible with (profile, p) —
+  /// identical model and partition point — appending them to *out in
+  /// arrival order (suffix batching).
+  void take_matching(const core::GraphCostProfile* profile, std::size_t p,
+                     std::size_t limit, std::vector<QueuedJob>* out);
+
+  /// Sum of the predicted execution times of everything queued — the
+  /// admission controller's estimate of the backlog ahead of a new arrival.
+  double predicted_backlog_sec() const { return backlog_sec_; }
+
+ private:
+  bool before(const QueuedJob& a, const QueuedJob& b) const;
+
+  QueuePolicy policy_;
+  std::size_t capacity_;
+  std::vector<QueuedJob> jobs_;
+  double backlog_sec_ = 0.0;
+};
+
+}  // namespace lp::serve

@@ -143,6 +143,18 @@ TEST(Percentile, InterpolatesAndClamps) {
   EXPECT_DOUBLE_EQ(percentile(v, 50), 2.5);
 }
 
+TEST(Percentile, ClampsOutOfRangeQuantiles) {
+  std::vector<double> v{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(v, -10), 1.0);    // clamped to q = 0
+  EXPECT_DOUBLE_EQ(percentile(v, 250), 4.0);    // clamped to q = 100
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 90), 7.0); // single sample
+}
+
+TEST(Percentile, RejectsEmptyAndNan) {
+  EXPECT_THROW(percentile({}, 50), ContractError);
+  EXPECT_THROW(percentile({1.0, 2.0}, std::nan("")), ContractError);
+}
+
 TEST(Table, RendersAlignedRows) {
   Table t({"name", "value"});
   t.add_row({"alpha", "1"});

@@ -1,0 +1,378 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.h"
+#include "serve/fleet.h"
+#include "serve/frontend.h"
+#include "serve/queue.h"
+
+namespace lp::serve {
+namespace {
+
+const core::PredictorBundle& bundle() {
+  static const core::PredictorBundle b = core::train_default_predictors(1234);
+  return b;
+}
+
+// ------------------------------------------------------------- queue --
+
+QueuedJob make_job(std::uint64_t seq, TimeNs deadline, double predicted) {
+  QueuedJob job;
+  job.seq = seq;
+  job.deadline = deadline;
+  job.predicted_sec = predicted;
+  return job;
+}
+
+TEST(RequestQueue, FifoPopsInArrivalOrder) {
+  RequestQueue q(QueuePolicy::kFifo, 8);
+  q.push(make_job(0, seconds(9), 0.5));
+  q.push(make_job(1, seconds(1), 0.1));
+  q.push(make_job(2, seconds(5), 0.9));
+  EXPECT_EQ(q.pop_next().seq, 0u);
+  EXPECT_EQ(q.pop_next().seq, 1u);
+  EXPECT_EQ(q.pop_next().seq, 2u);
+}
+
+TEST(RequestQueue, EdfPopsEarliestDeadlineFirst) {
+  RequestQueue q(QueuePolicy::kEdf, 8);
+  q.push(make_job(0, seconds(9), 0.5));
+  q.push(make_job(1, seconds(1), 0.1));
+  q.push(make_job(2, seconds(5), 0.9));
+  q.push(make_job(3, 0, 0.1));  // no deadline: served last
+  EXPECT_EQ(q.pop_next().seq, 1u);
+  EXPECT_EQ(q.pop_next().seq, 2u);
+  EXPECT_EQ(q.pop_next().seq, 0u);
+  EXPECT_EQ(q.pop_next().seq, 3u);
+}
+
+TEST(RequestQueue, SpjfPopsShortestPredictedFirst) {
+  RequestQueue q(QueuePolicy::kSpjf, 8);
+  q.push(make_job(0, 0, 0.5));
+  q.push(make_job(1, 0, 0.1));
+  q.push(make_job(2, 0, 0.1));  // tie with seq 1: arrival order
+  EXPECT_EQ(q.pop_next().seq, 1u);
+  EXPECT_EQ(q.pop_next().seq, 2u);
+  EXPECT_EQ(q.pop_next().seq, 0u);
+}
+
+TEST(RequestQueue, BoundedPushFailsWhenFullAndTracksBacklog) {
+  RequestQueue q(QueuePolicy::kFifo, 2);
+  EXPECT_TRUE(q.push(make_job(0, 0, 0.25)));
+  EXPECT_TRUE(q.push(make_job(1, 0, 0.5)));
+  EXPECT_DOUBLE_EQ(q.predicted_backlog_sec(), 0.75);
+  EXPECT_TRUE(q.full());
+  EXPECT_FALSE(q.push(make_job(2, 0, 1.0)));
+  EXPECT_EQ(q.size(), 2u);
+  q.pop_next();
+  EXPECT_DOUBLE_EQ(q.predicted_backlog_sec(), 0.5);
+}
+
+TEST(RequestQueue, TakeMatchingOnlyMergesIdenticalModelAndCut) {
+  const auto alexnet = models::make_model("alexnet");
+  const auto squeezenet = models::make_model("squeezenet");
+  const core::GraphCostProfile pa(alexnet, bundle());
+  const core::GraphCostProfile pb(squeezenet, bundle());
+
+  RequestQueue q(QueuePolicy::kFifo, 8);
+  auto with_profile = [](QueuedJob job, const core::GraphCostProfile* prof,
+                         std::size_t p) {
+    job.profile = prof;
+    job.p = p;
+    return job;
+  };
+  q.push(with_profile(make_job(0, 0, 0.1), &pa, 5));
+  q.push(with_profile(make_job(1, 0, 0.1), &pa, 5));   // batch-mate
+  q.push(with_profile(make_job(2, 0, 0.1), &pa, 7));   // same model, other p
+  q.push(with_profile(make_job(3, 0, 0.1), &pb, 5));   // other model, same p
+  q.push(with_profile(make_job(4, 0, 0.1), &pa, 5));   // batch-mate
+
+  std::vector<QueuedJob> batch;
+  batch.push_back(q.pop_next());
+  q.take_matching(&pa, 5, 8, &batch);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[0].seq, 0u);
+  EXPECT_EQ(batch[1].seq, 1u);
+  EXPECT_EQ(batch[2].seq, 4u);
+  EXPECT_EQ(q.size(), 2u);  // the (pa, 7) and (pb, 5) jobs stay queued
+}
+
+// ---------------------------------------------------------- frontend --
+
+struct FrontendHarness {
+  sim::Simulator sim;
+  hw::GpuModel gpu;
+  hw::GpuScheduler scheduler;
+  graph::Graph model;
+  core::GraphCostProfile profile;
+  EdgeServerFrontend frontend;
+
+  explicit FrontendHarness(FrontendParams params,
+                           core::RuntimeParams runtime = {})
+      : scheduler(sim),
+        model(models::make_model("alexnet")),
+        profile(model, bundle()),
+        frontend(sim, scheduler, gpu, params, runtime, 99) {}
+};
+
+struct PendingRequest {
+  sim::Event done;
+  double exec = 0.0;
+  double overhead = 0.0;
+  double queue_wait = 0.0;
+  core::SubmitStatus status = core::SubmitStatus::kRejected;
+
+  explicit PendingRequest(sim::Simulator& sim) : done(sim) {}
+
+  core::SuffixRequest request(std::uint64_t session, std::size_t p,
+                              TimeNs deadline = 0) {
+    core::SuffixRequest r;
+    r.p = p;
+    r.done = &done;
+    r.exec_seconds = &exec;
+    r.overhead_seconds = &overhead;
+    r.queue_wait_seconds = &queue_wait;
+    r.session = session;
+    r.deadline = deadline;
+    return r;
+  }
+};
+
+TEST(EdgeServerFrontend, BatchesOnlyIdenticalCuts) {
+  FrontendParams params;
+  params.max_batch = 4;
+  FrontendHarness h(params);
+  const auto a = h.frontend.open_session(h.profile);
+  const auto b = h.frontend.open_session(h.profile);
+
+  // Three compatible jobs and one at a different cut, submitted before the
+  // service loop runs: the compatible ones coalesce into one dispatch.
+  PendingRequest r1(h.sim), r2(h.sim), r3(h.sim), r4(h.sim);
+  r1.status = h.frontend.submit(r1.request(a, 5));
+  r2.status = h.frontend.submit(r2.request(b, 5));
+  r3.status = h.frontend.submit(r3.request(a, 5));
+  r4.status = h.frontend.submit(r4.request(b, 7));
+  h.sim.run_until(seconds(30));
+
+  EXPECT_EQ(r1.status, core::SubmitStatus::kAccepted);
+  EXPECT_TRUE(r1.done.triggered());
+  EXPECT_TRUE(r4.done.triggered());
+  EXPECT_EQ(h.frontend.served(), 4u);
+  EXPECT_EQ(h.frontend.dispatches(), 2u);
+  EXPECT_EQ(h.frontend.batched_dispatches(), 1u);
+  EXPECT_EQ(h.frontend.batched_jobs(), 3u);
+  EXPECT_EQ(h.scheduler.coalesced_jobs(), 3u);
+  // Batch-mates finish together and report the same contended time.
+  EXPECT_DOUBLE_EQ(r1.exec, r2.exec);
+  EXPECT_DOUBLE_EQ(r1.exec, r3.exec);
+}
+
+TEST(EdgeServerFrontend, ShedsWhenQueueFullOrOverBudget) {
+  FrontendParams params;
+  params.queue_capacity = 2;
+  FrontendHarness h(params);
+  const auto s = h.frontend.open_session(h.profile);
+
+  PendingRequest r1(h.sim), r2(h.sim), r3(h.sim);
+  EXPECT_EQ(h.frontend.submit(r1.request(s, 5)),
+            core::SubmitStatus::kAccepted);
+  EXPECT_EQ(h.frontend.submit(r2.request(s, 5)),
+            core::SubmitStatus::kAccepted);
+  // Queue holds 2: the third arrival before any dispatch is shed.
+  EXPECT_EQ(h.frontend.submit(r3.request(s, 5)),
+            core::SubmitStatus::kRejected);
+  EXPECT_EQ(h.frontend.shed(), 1u);
+
+  // Admission control with a zero budget sheds even with queue space.
+  FrontendParams strict;
+  strict.admission_control = true;
+  strict.delay_budget_sec = 0.0;
+  FrontendHarness h2(strict);
+  const auto s2 = h2.frontend.open_session(h2.profile);
+  PendingRequest q1(h2.sim), q2(h2.sim);
+  EXPECT_EQ(h2.frontend.submit(q1.request(s2, 5)),
+            core::SubmitStatus::kAccepted);  // empty queue: delay 0 <= 0
+  EXPECT_EQ(h2.frontend.submit(q2.request(s2, 5)),
+            core::SubmitStatus::kRejected);  // backlog now > 0
+}
+
+TEST(EdgeServerFrontend, SessionsTrackKIndependently) {
+  FrontendParams params;
+  FrontendHarness h(params);
+  const auto busy = h.frontend.open_session(h.profile);
+  const auto idle = h.frontend.open_session(h.profile);
+
+  // The busy session floods the frontend so its later requests queue
+  // behind its earlier ones; the idle session never submits.
+  std::vector<std::unique_ptr<PendingRequest>> requests;
+  for (int i = 0; i < 12; ++i) {
+    requests.push_back(std::make_unique<PendingRequest>(h.sim));
+    ASSERT_EQ(h.frontend.submit(requests.back()->request(busy, 5)),
+              core::SubmitStatus::kAccepted);
+  }
+  h.sim.run_until(seconds(60));
+
+  EXPECT_GT(h.frontend.session_k(busy), 1.5);
+  EXPECT_DOUBLE_EQ(h.frontend.session_k(idle), 1.0);
+  // And the per-session partition caches are isolated too.
+  EXPECT_EQ(h.frontend.session_cache(busy).size(), 1u);
+  EXPECT_EQ(h.frontend.session_cache(idle).size(), 0u);
+}
+
+TEST(EdgeServerFrontend, RejectsMalformedRequests) {
+  FrontendHarness h(FrontendParams{});
+  const auto s = h.frontend.open_session(h.profile);
+  PendingRequest r(h.sim);
+  EXPECT_THROW(h.frontend.submit(r.request(s, h.profile.n())),
+               ContractError);
+  EXPECT_THROW(h.frontend.submit(r.request(s + 1, 5)), ContractError);
+  core::SuffixRequest no_done;
+  no_done.p = 5;
+  no_done.session = s;
+  EXPECT_THROW(h.frontend.submit(no_done), ContractError);
+}
+
+// ------------------------------------------------------------- fleet --
+
+FleetConfig overload_fleet(std::uint64_t seed) {
+  FleetConfig config;
+  config.duration = seconds(20);
+  config.warmup = seconds(5);
+  config.seed = seed;
+  TenantSpec spec;
+  spec.model = "alexnet";
+  spec.clients = 12;
+  spec.policy = core::Policy::kNeurosurgeon;
+  // Fast links so queueing (not transfer time) dominates the latency.
+  spec.upload = net::BandwidthTrace::constant(mbps(100));
+  spec.download = net::BandwidthTrace::constant(mbps(100));
+  spec.request_gap = milliseconds(5);
+  spec.slo_sec = 0.25;
+  config.tenants.push_back(spec);
+  config.frontend.policy = QueuePolicy::kEdf;
+  config.frontend.admission_control = true;
+  config.frontend.delay_budget_sec = 0.05;
+  config.frontend.queue_capacity = 16;
+  return config;
+}
+
+TEST(FleetDriver, OverloadShedsAndClientsDegradeToLocal) {
+  const auto result = run_fleet(overload_fleet(3), bundle());
+  EXPECT_GT(result.shed, 0u);
+  const auto summary = result.summarize();
+  EXPECT_GT(summary.requests, 0u);
+  EXPECT_GT(summary.degraded, 0u);
+  EXPECT_GT(summary.admitted, 0u);
+  // Every record carries a consistent outcome: degraded requests ran the
+  // suffix on the device and never observed server time.
+  for (const auto* rec : result.steady())
+    if (rec->outcome == core::InferenceOutcome::kDegradedLocal) {
+      EXPECT_DOUBLE_EQ(rec->server_sec, 0.0);
+      EXPECT_GT(rec->device_sec, 0.0);
+    }
+}
+
+TEST(FleetDriver, AdmissionControlBoundsAdmittedTail) {
+  // Same offered load; only the frontend differs. The admitted p90 under
+  // EDF+admission must beat FIFO-no-admission.
+  FleetConfig open = overload_fleet(5);
+  open.frontend.policy = QueuePolicy::kFifo;
+  open.frontend.admission_control = false;
+  open.frontend.queue_capacity = 256;
+  FleetConfig guarded = overload_fleet(5);
+
+  const auto open_summary = run_fleet(open, bundle()).summarize();
+  const auto guarded_summary = run_fleet(guarded, bundle()).summarize();
+  ASSERT_GT(open_summary.admitted, 0u);
+  ASSERT_GT(guarded_summary.admitted, 0u);
+  EXPECT_LT(guarded_summary.admitted_p90_ms, open_summary.admitted_p90_ms);
+}
+
+TEST(FleetDriver, DeterministicGivenSeed) {
+  const auto a = run_fleet(overload_fleet(11), bundle());
+  const auto b = run_fleet(overload_fleet(11), bundle());
+  ASSERT_EQ(a.clients.size(), b.clients.size());
+  ASSERT_GT(a.steady().size(), 0u);
+  for (std::size_t i = 0; i < a.clients.size(); ++i) {
+    const auto& ra = a.clients[i].records;
+    const auto& rb = b.clients[i].records;
+    ASSERT_EQ(ra.size(), rb.size());
+    for (std::size_t j = 0; j < ra.size(); ++j) {
+      EXPECT_EQ(ra[j].start, rb[j].start);
+      EXPECT_EQ(ra[j].p, rb[j].p);
+      EXPECT_DOUBLE_EQ(ra[j].total_sec, rb[j].total_sec);
+      EXPECT_DOUBLE_EQ(ra[j].queue_wait_sec, rb[j].queue_wait_sec);
+      EXPECT_EQ(ra[j].outcome, rb[j].outcome);
+    }
+  }
+  EXPECT_EQ(a.shed, b.shed);
+  EXPECT_EQ(a.dispatches, b.dispatches);
+}
+
+TEST(FleetDriver, BatchingRaisesServedThroughput) {
+  // Full offload (p = 0): the GPU runs the whole dispatch-dominated graph,
+  // so it is the bottleneck and coalescing identical suffixes pays.
+  FleetConfig config;
+  config.duration = seconds(15);
+  config.warmup = seconds(3);
+  config.seed = 9;
+  config.runtime.fixed_p = 0;
+  TenantSpec spec;
+  spec.model = "resnet18";
+  spec.clients = 16;
+  spec.policy = core::Policy::kFixedPoint;
+  spec.upload = net::BandwidthTrace::constant(mbps(100));
+  spec.download = net::BandwidthTrace::constant(mbps(100));
+  spec.request_gap = milliseconds(2);
+  config.tenants.push_back(spec);
+
+  FleetConfig batched = config;
+  batched.frontend.max_batch = 8;
+  batched.frontend.batch_window = milliseconds(2);
+
+  const auto plain = run_fleet(config, bundle());
+  const auto coalesced = run_fleet(batched, bundle());
+  EXPECT_EQ(plain.batched_dispatches, 0u);
+  EXPECT_GT(coalesced.batched_jobs, 0u);
+  EXPECT_GT(coalesced.summarize().admitted, plain.summarize().admitted);
+}
+
+TEST(FleetDriver, DegradeBacksOffLoadPartClientsTowardLocal) {
+  // A frontend that sheds everything: LoADPart clients must stop
+  // offloading (k backoff drives the cut to p = n), while the records of
+  // the rejected attempts are marked degraded.
+  FleetConfig config;
+  config.duration = seconds(20);
+  config.warmup = seconds(0);
+  config.seed = 13;
+  config.frontend.admission_control = true;
+  config.frontend.delay_budget_sec = -1.0;  // always over budget
+  // The profiler resets k from the (idle-looking) server session; keep it
+  // out of the way so the reject backoff can compound to full retreat.
+  config.profiler_period = seconds(60);
+  TenantSpec spec;
+  spec.model = "alexnet";
+  spec.clients = 2;
+  spec.policy = core::Policy::kLoadPart;
+  spec.upload = net::BandwidthTrace::constant(mbps(100));
+  spec.download = net::BandwidthTrace::constant(mbps(100));
+  spec.request_gap = milliseconds(5);
+  config.tenants.push_back(spec);
+
+  const auto result = run_fleet(config, bundle());
+  const auto summary = result.summarize();
+  EXPECT_EQ(summary.admitted, 0u);
+  EXPECT_GT(summary.degraded, 0u);
+  // By the end of the run the fleet has retreated to local inference.
+  std::size_t n = 0;
+  for (const auto& trace : result.clients) {
+    ASSERT_FALSE(trace.records.empty());
+    n = std::max(n, trace.records.back().p);
+  }
+  const auto model = models::make_model("alexnet");
+  EXPECT_EQ(n, model.n());
+}
+
+}  // namespace
+}  // namespace lp::serve
