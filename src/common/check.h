@@ -35,3 +35,14 @@ class ContractError : public std::logic_error {
   do {                                                                \
     if (!(expr)) ::lp::contract_failure(#expr, __FILE__, __LINE__, (msg)); \
   } while (0)
+
+// LP_DCHECK: contract check for hot paths (per-element tensor indexing).
+// Active in Debug builds; compiled out when NDEBUG is defined (Release /
+// RelWithDebInfo), so optimized kernels pay nothing for it.
+#ifdef NDEBUG
+#define LP_DCHECK(expr) \
+  do {                  \
+  } while (0)
+#else
+#define LP_DCHECK(expr) LP_CHECK(expr)
+#endif

@@ -1,8 +1,12 @@
 #include "exec/interpreter.h"
 
 #include <cmath>
+#include <limits>
+#include <utility>
 
 #include "common/check.h"
+#include "exec/kernels.h"
+#include "exec/thread_pool.h"
 
 namespace lp::exec {
 
@@ -10,6 +14,11 @@ namespace {
 
 using graph::Node;
 using graph::OpType;
+
+// ---------------------------------------------------------------------------
+// Reference kernels: deliberately naive per-element loops. These define the
+// numerics every optimized kernel must reproduce bit-for-bit.
+// ---------------------------------------------------------------------------
 
 Tensor conv2d(const Tensor& x, const Tensor& w, const graph::ConvAttrs& a,
               const Shape& out_shape, bool depthwise) {
@@ -49,7 +58,10 @@ Tensor pool2d(const Tensor& x, const graph::PoolAttrs& a,
     for (std::int64_t c = 0; c < out_shape.c(); ++c)
       for (std::int64_t oh = 0; oh < out_shape.h(); ++oh)
         for (std::int64_t ow = 0; ow < out_shape.w(); ++ow) {
-          double acc = is_max ? -1e30 : 0.0;
+          // -inf is the true max identity: windows of arbitrarily negative
+          // activations still reduce correctly.
+          double acc =
+              is_max ? -std::numeric_limits<double>::infinity() : 0.0;
           int valid = 0;
           for (std::int64_t kh = 0; kh < a.kernel_h; ++kh)
             for (std::int64_t kw = 0; kw < a.kernel_w; ++kw) {
@@ -105,16 +117,18 @@ Tensor bias_add(const Tensor& x, const Tensor& bias) {
   return y;
 }
 
+constexpr float kBatchNormEps = 1e-5f;
+
 Tensor batchnorm(const Tensor& x, const Tensor& gamma, const Tensor& beta,
                  const Tensor& mean, const Tensor& var) {
-  constexpr float kEps = 1e-5f;
   Tensor y = x;
   for (std::int64_t n = 0; n < x.shape().n(); ++n)
     for (std::int64_t c = 0; c < x.shape().c(); ++c) {
       // Deterministic pseudo-random "variance" values can be negative;
       // clamp so normalization stays finite (value equality across the two
       // partition halves is what matters, not statistical realism).
-      const float denom = std::sqrt(std::max(var.at(c), 0.0f) + kEps);
+      const float denom =
+          std::sqrt(std::max(var.at(c), 0.0f) + kBatchNormEps);
       for (std::int64_t h = 0; h < x.shape().h(); ++h)
         for (std::int64_t w = 0; w < x.shape().w(); ++w)
           y.at4(n, c, h, w) =
@@ -176,13 +190,23 @@ Tensor concat(const std::vector<const Tensor*>& xs, const Shape& out_shape) {
       for (std::int64_t c = 0; c < x->shape().c(); ++c)
         for (std::int64_t h = 0; h < x->shape().h(); ++h)
           for (std::int64_t w = 0; w < x->shape().w(); ++w)
-            y.at4(n, c_off + c, h, w) = x->at4(n, c, h, w);
+            y.at4(0 + n, c_off + c, h, w) = x->at4(n, c, h, w);
     c_off += x->shape().c();
   }
   return y;
 }
 
 }  // namespace
+
+Interpreter::Interpreter(const graph::Graph& g, Options options)
+    : graph_(&g), options_(options) {
+  if (options_.mode == ExecMode::kOptimized) {
+    groups_ = graph::fuse_for_execution(g);
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  }
+}
+
+Interpreter::~Interpreter() = default;
 
 std::vector<std::string> Interpreter::output_names() const {
   const auto& g = *graph_;
@@ -199,115 +223,310 @@ std::vector<std::string> Interpreter::output_names() const {
   return {tuple_src->name};
 }
 
-std::vector<Tensor> Interpreter::run(const TensorMap& bindings) const {
+std::vector<Tensor> Interpreter::run(const TensorMap& bindings,
+                                     RunStats* stats) const {
   const auto& g = *graph_;
+  const bool optimized = options_.mode == ExecMode::kOptimized;
+
   // Values indexed by node id; MakeTuple holds no tensor of its own.
   std::vector<Tensor> values(g.node_count());
 
-  auto value_of = [&](graph::NodeId id) -> const Tensor& {
+  // Liveness: remaining reads per node. Each consumer's retirement is one
+  // read; collecting a graph output at the end is one more.
+  std::vector<std::int32_t> uses(g.node_count(), 0);
+  for (std::size_t id = 0; id < g.node_count(); ++id)
+    uses[id] = static_cast<std::int32_t>(g.consumers()[id].size());
+
+  const Node* out_node = &g.node(g.output_id());
+  if (out_node->op == OpType::kReturn)
+    out_node = &g.node(out_node->inputs.front());
+  std::vector<graph::NodeId> out_ids;
+  if (out_node->op == OpType::kMakeTuple)
+    out_ids = out_node->inputs;
+  else
+    out_ids = {out_node->id};
+  for (graph::NodeId id : out_ids) ++uses[static_cast<std::size_t>(id)];
+
+  std::int64_t cur = 0, peak = 0, released = 0, moved = 0, fused = 0;
+
+  auto at = [&](graph::NodeId id) -> Tensor& {
     return values[static_cast<std::size_t>(id)];
   };
 
-  for (const Node& node : g.nodes()) {
-    if (node.is_param()) {
-      auto it = bindings.find(node.name);
-      values[static_cast<std::size_t>(node.id)] =
-          it != bindings.end() ? it->second
-                               : deterministic_param(node.name,
-                                                     node.output.shape);
-      LP_CHECK_MSG(value_of(node.id).shape() == node.output.shape,
-                   "bound tensor shape mismatch for " + node.name);
-      continue;
+  auto track = [&](const Tensor& t) {
+    cur += t.bytes();
+    peak = std::max(peak, cur);
+  };
+
+  // Returns node id's tensor, materializing Parameters on first use (from
+  // `bindings` when bound, deterministically from the name otherwise).
+  auto ensure = [&](graph::NodeId id) -> const Tensor& {
+    Tensor& v = at(id);
+    if (!v.empty()) return v;
+    const Node& node = g.node(id);
+    LP_CHECK_MSG(node.is_param(),
+                 "use of an unmaterialized tensor: " + node.name);
+    auto it = bindings.find(node.name);
+    Tensor t = it != bindings.end()
+                   ? it->second
+                   : deterministic_param(node.name, node.output.shape);
+    LP_CHECK_MSG(t.shape() == node.output.shape,
+                 "bound tensor shape mismatch for " + node.name);
+    v = std::move(t);
+    track(v);
+    return v;
+  };
+
+  // Retires one read of `id`; releases the buffer after the last one.
+  auto dec = [&](graph::NodeId id) {
+    auto& u = uses[static_cast<std::size_t>(id)];
+    LP_CHECK(u > 0);
+    if (--u == 0) {
+      Tensor& v = at(id);
+      cur -= v.bytes();
+      released += v.bytes();
+      v = Tensor();
     }
+  };
+
+  // Moves the tensor out when this is its final read (in-place ops reuse
+  // the buffer); copies otherwise.
+  auto take_or_copy = [&](graph::NodeId id) -> Tensor {
+    const Tensor& v = ensure(id);
+    if (uses[static_cast<std::size_t>(id)] == 1) {
+      ++moved;
+      cur -= v.bytes();
+      return std::move(at(id));
+    }
+    return v;
+  };
+
+  auto store = [&](graph::NodeId id, Tensor t) {
+    track(t);
+    at(id) = std::move(t);
+  };
+
+  auto bind_input = [&](const Node& node) {
+    auto it = bindings.find(node.name);
+    LP_CHECK_MSG(it != bindings.end(),
+                 "missing input binding: " + node.name);
+    LP_CHECK_MSG(it->second.shape() == node.output.shape,
+                 "input shape mismatch");
+    store(node.id, it->second);
+  };
+
+  // One fused-epilogue step from a BiasAdd/BatchNorm/activation node.
+  auto make_step = [&](const Node& node) {
+    EpilogueStep step;
+    step.op = node.op;
     switch (node.op) {
-      case OpType::kInput: {
-        auto it = bindings.find(node.name);
-        LP_CHECK_MSG(it != bindings.end(),
-                     "missing input binding: " + node.name);
-        LP_CHECK_MSG(it->second.shape() == node.output.shape,
-                     "input shape mismatch");
-        values[static_cast<std::size_t>(node.id)] = it->second;
+      case OpType::kBiasAdd:
+        step.bias = ensure(node.inputs[1]).data();
+        break;
+      case OpType::kBatchNorm: {
+        step.gamma = ensure(node.inputs[1]).data();
+        step.beta = ensure(node.inputs[2]).data();
+        step.mean = ensure(node.inputs[3]).data();
+        const Tensor& var = ensure(node.inputs[4]);
+        step.denom.resize(static_cast<std::size_t>(var.elements()));
+        for (std::int64_t c = 0; c < var.elements(); ++c)
+          step.denom[static_cast<std::size_t>(c)] =
+              std::sqrt(std::max(var.at(c), 0.0f) + kBatchNormEps);
         break;
       }
+      case OpType::kRelu:
+      case OpType::kSigmoid:
+      case OpType::kTanh:
+        break;
+      default:
+        LP_CHECK_MSG(false, "not a fusable epilogue op: " + node.name);
+    }
+    return step;
+  };
+
+  // Executes one node (or one fused group ending at `out_id`) with the
+  // optimized kernels.
+  auto exec_optimized = [&](const graph::FusionGroup& group) {
+    const Node& node = g.node(group.anchor());
+    const graph::NodeId out_id = group.nodes.back();
+    Epilogue ep;
+    for (std::size_t i = 1; i < group.size(); ++i)
+      ep.steps.push_back(make_step(g.node(group.nodes[i])));
+    if (group.size() > 1) ++fused;
+
+    switch (node.op) {
+      case OpType::kInput:
+        bind_input(node);
+        break;
       case OpType::kConv:
       case OpType::kDWConv: {
         const auto& a = std::get<graph::ConvAttrs>(node.attrs);
-        values[static_cast<std::size_t>(node.id)] =
-            conv2d(value_of(node.inputs[0]), value_of(node.inputs[1]), a,
-                   node.output.shape, node.op == OpType::kDWConv);
+        store(out_id, conv2d_fast(ensure(node.inputs[0]),
+                                  ensure(node.inputs[1]), a,
+                                  node.output.shape,
+                                  node.op == OpType::kDWConv, ep, *pool_));
         break;
       }
       case OpType::kMatMul:
-        values[static_cast<std::size_t>(node.id)] =
-            matmul(value_of(node.inputs[0]), value_of(node.inputs[1]),
-                   node.output.shape);
+        store(out_id, matmul_fast(ensure(node.inputs[0]),
+                                  ensure(node.inputs[1]),
+                                  node.output.shape, ep, *pool_));
         break;
       case OpType::kMaxPool:
       case OpType::kAvgPool: {
         const auto& a = std::get<graph::PoolAttrs>(node.attrs);
-        values[static_cast<std::size_t>(node.id)] =
-            pool2d(value_of(node.inputs[0]), a, node.output.shape,
-                   node.op == OpType::kMaxPool);
+        store(out_id, pool2d_fast(ensure(node.inputs[0]), a,
+                                  node.output.shape,
+                                  node.op == OpType::kMaxPool, *pool_));
+        break;
+      }
+      case OpType::kAdd: {
+        Tensor y = take_or_copy(node.inputs[0]);
+        add_inplace(y, ensure(node.inputs[1]), *pool_);
+        epilogue_inplace(y, ep, *pool_);
+        store(out_id, std::move(y));
         break;
       }
       case OpType::kBiasAdd:
-        values[static_cast<std::size_t>(node.id)] =
-            bias_add(value_of(node.inputs[0]), value_of(node.inputs[1]));
-        break;
-      case OpType::kAdd: {
-        Tensor y = value_of(node.inputs[0]);
-        const Tensor& b = value_of(node.inputs[1]);
-        for (std::int64_t i = 0; i < y.elements(); ++i) y.at(i) += b.at(i);
-        values[static_cast<std::size_t>(node.id)] = std::move(y);
-        break;
-      }
       case OpType::kBatchNorm:
-        values[static_cast<std::size_t>(node.id)] = batchnorm(
-            value_of(node.inputs[0]), value_of(node.inputs[1]),
-            value_of(node.inputs[2]), value_of(node.inputs[3]),
-            value_of(node.inputs[4]));
-        break;
       case OpType::kRelu:
       case OpType::kSigmoid:
-      case OpType::kTanh:
-        values[static_cast<std::size_t>(node.id)] =
-            elementwise(value_of(node.inputs[0]), node.op);
+      case OpType::kTanh: {
+        // Standalone elementwise node: a one-step epilogue applied in
+        // place on the (possibly moved-through) input.
+        Epilogue solo;
+        solo.steps.push_back(make_step(node));
+        Tensor y = take_or_copy(node.inputs[0]);
+        epilogue_inplace(y, solo, *pool_);
+        store(out_id, std::move(y));
         break;
-      case OpType::kSoftmax:
-        values[static_cast<std::size_t>(node.id)] =
-            softmax(value_of(node.inputs[0]));
+      }
+      case OpType::kSoftmax: {
+        Tensor y = take_or_copy(node.inputs[0]);
+        softmax_inplace(y);
+        store(out_id, std::move(y));
         break;
+      }
       case OpType::kConcat: {
         std::vector<const Tensor*> xs;
-        for (graph::NodeId in : node.inputs) xs.push_back(&value_of(in));
-        values[static_cast<std::size_t>(node.id)] =
-            concat(xs, node.output.shape);
+        for (graph::NodeId in : node.inputs) xs.push_back(&ensure(in));
+        store(out_id, concat_fast(xs, node.output.shape));
         break;
       }
       case OpType::kFlatten: {
-        const Tensor& x = value_of(node.inputs[0]);
-        values[static_cast<std::size_t>(node.id)] =
-            Tensor(node.output.shape,
-                   std::vector<float>(x.data(), x.data() + x.elements()));
+        Tensor y = take_or_copy(node.inputs[0]);
+        store(out_id, Tensor::reshaped(std::move(y), node.output.shape));
         break;
       }
       case OpType::kMakeTuple:
       case OpType::kReturn:
-        // Structural; handled when collecting outputs.
+        break;  // structural; handled when collecting outputs
+    }
+  };
+
+  // Executes one node with the reference kernels (always unfused).
+  auto exec_reference = [&](const Node& node) {
+    switch (node.op) {
+      case OpType::kInput:
+        bind_input(node);
         break;
+      case OpType::kConv:
+      case OpType::kDWConv: {
+        const auto& a = std::get<graph::ConvAttrs>(node.attrs);
+        store(node.id, conv2d(ensure(node.inputs[0]),
+                              ensure(node.inputs[1]), a, node.output.shape,
+                              node.op == OpType::kDWConv));
+        break;
+      }
+      case OpType::kMatMul:
+        store(node.id, matmul(ensure(node.inputs[0]),
+                              ensure(node.inputs[1]), node.output.shape));
+        break;
+      case OpType::kMaxPool:
+      case OpType::kAvgPool: {
+        const auto& a = std::get<graph::PoolAttrs>(node.attrs);
+        store(node.id, pool2d(ensure(node.inputs[0]), a, node.output.shape,
+                              node.op == OpType::kMaxPool));
+        break;
+      }
+      case OpType::kBiasAdd:
+        store(node.id, bias_add(ensure(node.inputs[0]),
+                                ensure(node.inputs[1])));
+        break;
+      case OpType::kAdd: {
+        Tensor y = ensure(node.inputs[0]);
+        const Tensor& b = ensure(node.inputs[1]);
+        for (std::int64_t i = 0; i < y.elements(); ++i) y.at(i) += b.at(i);
+        store(node.id, std::move(y));
+        break;
+      }
+      case OpType::kBatchNorm:
+        store(node.id, batchnorm(ensure(node.inputs[0]),
+                                 ensure(node.inputs[1]),
+                                 ensure(node.inputs[2]),
+                                 ensure(node.inputs[3]),
+                                 ensure(node.inputs[4])));
+        break;
+      case OpType::kRelu:
+      case OpType::kSigmoid:
+      case OpType::kTanh:
+        store(node.id, elementwise(ensure(node.inputs[0]), node.op));
+        break;
+      case OpType::kSoftmax:
+        store(node.id, softmax(ensure(node.inputs[0])));
+        break;
+      case OpType::kConcat: {
+        std::vector<const Tensor*> xs;
+        for (graph::NodeId in : node.inputs) xs.push_back(&ensure(in));
+        store(node.id, concat(xs, node.output.shape));
+        break;
+      }
+      case OpType::kFlatten: {
+        const Tensor& x = ensure(node.inputs[0]);
+        store(node.id,
+              Tensor(node.output.shape,
+                     std::vector<float>(x.data(), x.data() + x.elements())));
+        break;
+      }
+      case OpType::kMakeTuple:
+      case OpType::kReturn:
+        break;  // structural; handled when collecting outputs
+    }
+  };
+
+  if (optimized) {
+    for (const auto& group : groups_) {
+      exec_optimized(group);
+      for (graph::NodeId nid : group.nodes)
+        for (graph::NodeId in : g.node(nid).inputs) dec(in);
+    }
+  } else {
+    for (graph::NodeId nid : g.backbone()) {
+      const Node& node = g.node(nid);
+      exec_reference(node);
+      for (graph::NodeId in : node.inputs) dec(in);
     }
   }
 
-  // Collect outputs.
-  const Node& out = g.node(g.output_id());
-  const Node* tuple_src = &out;
-  if (out.op == OpType::kReturn) tuple_src = &g.node(out.inputs.front());
+  if (stats) {
+    stats->peak_resident_bytes = peak;
+    stats->final_resident_bytes = cur;
+    stats->released_bytes = released;
+    stats->moved_tensors = moved;
+    stats->fused_groups = fused;
+  }
+
+  // Collect outputs, moving each tensor out at its last occurrence.
   std::vector<Tensor> results;
-  if (tuple_src->op == OpType::kMakeTuple) {
-    for (graph::NodeId in : tuple_src->inputs)
-      results.push_back(value_of(in));
-  } else {
-    results.push_back(value_of(tuple_src->id));
+  results.reserve(out_ids.size());
+  for (std::size_t i = 0; i < out_ids.size(); ++i) {
+    bool last = true;
+    for (std::size_t j = i + 1; j < out_ids.size(); ++j)
+      if (out_ids[j] == out_ids[i]) last = false;
+    if (last)
+      results.push_back(std::move(at(out_ids[i])));
+    else
+      results.push_back(at(out_ids[i]));
   }
   return results;
 }

@@ -1,0 +1,110 @@
+// Optimized execution kernels: im2col + register-tiled GEMM convolution,
+// blocked matmul, parallel pooling/elementwise, and a fused elementwise
+// epilogue driven by graph::fusion groups.
+//
+// Determinism contract: every kernel reproduces the reference interpreter's
+// per-output-element operation order exactly — double-precision
+// accumulation in ascending (ic, kh, kw) / k order, identical float
+// expressions for the epilogue ops — so optimized output is bit-identical
+// to the reference. Parallelism and blocking only re-partition the output
+// index space; no single element's accumulation chain is ever split or
+// reordered. Padding contributes exact 0.0f entries to the im2col panel,
+// which leave a running double accumulator bit-unchanged (weights must be
+// finite, which graph parameters are).
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "exec/tensor.h"
+#include "exec/thread_pool.h"
+#include "graph/attrs.h"
+
+namespace lp::exec {
+
+/// One fused elementwise op applied to a kernel's output elements.
+struct EpilogueStep {
+  graph::OpType op = graph::OpType::kRelu;
+  const float* bias = nullptr;   // kBiasAdd
+  const float* gamma = nullptr;  // kBatchNorm
+  const float* beta = nullptr;   // kBatchNorm
+  const float* mean = nullptr;   // kBatchNorm
+  /// kBatchNorm: sqrt(max(var, 0) + eps) per channel, precomputed once so
+  /// the per-element expression matches the reference exactly.
+  std::vector<float> denom;
+};
+
+/// A fusion group's epilogue, applied to each output element in group
+/// order. `c` is the channel (NCHW) or column (rank-2) index.
+struct Epilogue {
+  std::vector<EpilogueStep> steps;
+
+  bool empty() const { return steps.empty(); }
+
+  /// True if any step indexes per-channel parameters.
+  bool per_channel() const {
+    for (const auto& s : steps)
+      if (s.op == graph::OpType::kBiasAdd ||
+          s.op == graph::OpType::kBatchNorm)
+        return true;
+    return false;
+  }
+
+  float apply(float v, std::int64_t c) const {
+    for (const auto& s : steps) {
+      switch (s.op) {
+        case graph::OpType::kBiasAdd:
+          v += s.bias[c];
+          break;
+        case graph::OpType::kBatchNorm: {
+          const float d = s.denom[static_cast<std::size_t>(c)];
+          v = s.gamma[c] * (v - s.mean[c]) / d + s.beta[c];
+          break;
+        }
+        case graph::OpType::kRelu:
+          v = std::max(0.0f, v);
+          break;
+        case graph::OpType::kSigmoid:
+          v = 1.0f / (1.0f + std::exp(-v));
+          break;
+        case graph::OpType::kTanh:
+          v = std::tanh(v);
+          break;
+        default:
+          break;  // unreachable; epilogue ops are validated on construction
+      }
+    }
+    return v;
+  }
+};
+
+/// Convolution (im2col + cache-blocked GEMM; direct loops for depthwise)
+/// with the epilogue fused into the output store.
+Tensor conv2d_fast(const Tensor& x, const Tensor& w, const graph::ConvAttrs& a,
+                   const Shape& out_shape, bool depthwise, const Epilogue& ep,
+                   ThreadPool& pool);
+
+/// Fully-connected matmul, register-blocked over output columns, epilogue
+/// fused into the store.
+Tensor matmul_fast(const Tensor& x, const Tensor& w, const Shape& out_shape,
+                   const Epilogue& ep, ThreadPool& pool);
+
+/// Max/avg pooling, parallel over (n, c) planes.
+Tensor pool2d_fast(const Tensor& x, const graph::PoolAttrs& a,
+                   const Shape& out_shape, bool is_max, ThreadPool& pool);
+
+/// a += b, element-wise and in place.
+void add_inplace(Tensor& a, const Tensor& b, ThreadPool& pool);
+
+/// Applies an epilogue to every element of `t` in place (standalone
+/// BiasAdd/BatchNorm/activation nodes and Add-anchored fusion groups).
+void epilogue_inplace(Tensor& t, const Epilogue& ep, ThreadPool& pool);
+
+/// Softmax over the last axis, in place.
+void softmax_inplace(Tensor& t);
+
+/// Channel (axis-1) concatenation of NCHW tensors.
+Tensor concat_fast(const std::vector<const Tensor*>& xs,
+                   const Shape& out_shape);
+
+}  // namespace lp::exec

@@ -1,6 +1,7 @@
 #include "exec/tensor.h"
 
 #include <cmath>
+#include <utility>
 
 #include "common/check.h"
 #include "common/rng.h"
@@ -16,31 +17,14 @@ Tensor::Tensor(Shape shape, std::vector<float> data)
   LP_CHECK(static_cast<std::int64_t>(data_.size()) == shape_.elements());
 }
 
-float& Tensor::at(std::int64_t i) {
-  LP_CHECK(i >= 0 && i < elements());
-  return data_[static_cast<std::size_t>(i)];
-}
-float Tensor::at(std::int64_t i) const {
-  LP_CHECK(i >= 0 && i < elements());
-  return data_[static_cast<std::size_t>(i)];
-}
-
-float& Tensor::at4(std::int64_t n, std::int64_t c, std::int64_t h,
-                   std::int64_t w) {
-  return data_[static_cast<std::size_t>(
-      ((n * shape_.c() + c) * shape_.h() + h) * shape_.w() + w)];
-}
-float Tensor::at4(std::int64_t n, std::int64_t c, std::int64_t h,
-                  std::int64_t w) const {
-  return data_[static_cast<std::size_t>(
-      ((n * shape_.c() + c) * shape_.h() + h) * shape_.w() + w)];
-}
-
-float& Tensor::at2(std::int64_t r, std::int64_t c) {
-  return data_[static_cast<std::size_t>(r * shape_.dim(1) + c)];
-}
-float Tensor::at2(std::int64_t r, std::int64_t c) const {
-  return data_[static_cast<std::size_t>(r * shape_.dim(1) + c)];
+Tensor Tensor::reshaped(Tensor&& t, Shape shape) {
+  LP_CHECK_MSG(shape.elements() == t.elements(),
+               "reshape must preserve the element count");
+  Tensor out;
+  out.shape_ = std::move(shape);
+  out.data_ = std::move(t.data_);
+  t.shape_ = Shape{};
+  return out;
 }
 
 double Tensor::max_abs_diff(const Tensor& a, const Tensor& b) {

@@ -1,14 +1,16 @@
-// Dense float32 tensors for the reference interpreter.
+// Dense float32 tensors for the graph interpreter.
 //
-// This is deliberately simple, correctness-first storage: the interpreter
-// exists to prove that a partitioned graph computes exactly what the whole
-// graph computes, not to be fast.
+// Element accessors are inline and, in Release builds, check-free: bounds
+// and rank contracts are LP_DCHECKs, active only in Debug builds, so hot
+// kernel loops pay nothing for them while indexing bugs still trap during
+// development.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "common/check.h"
 #include "tensor/shape.h"
 
 namespace lp::exec {
@@ -22,20 +24,59 @@ class Tensor {
   const Shape& shape() const { return shape_; }
   std::int64_t elements() const { return shape_.elements(); }
 
+  /// True for a default-constructed (or moved-from / released) tensor that
+  /// holds no buffer.
+  bool empty() const { return data_.empty(); }
+
+  /// Buffer size in bytes (0 when empty).
+  std::int64_t bytes() const {
+    return static_cast<std::int64_t>(data_.size() * sizeof(float));
+  }
+
   float* data() { return data_.data(); }
   const float* data() const { return data_.data(); }
 
-  float& at(std::int64_t i);
-  float at(std::int64_t i) const;
+  float& at(std::int64_t i) {
+    LP_DCHECK(i >= 0 && i < elements());
+    return data_[static_cast<std::size_t>(i)];
+  }
+  float at(std::int64_t i) const {
+    LP_DCHECK(i >= 0 && i < elements());
+    return data_[static_cast<std::size_t>(i)];
+  }
 
   /// NCHW element access; requires rank 4 and in-range indices.
-  float& at4(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w);
+  float& at4(std::int64_t n, std::int64_t c, std::int64_t h, std::int64_t w) {
+    LP_DCHECK(shape_.rank() == 4);
+    LP_DCHECK(n >= 0 && n < shape_.n() && c >= 0 && c < shape_.c() &&
+              h >= 0 && h < shape_.h() && w >= 0 && w < shape_.w());
+    return data_[static_cast<std::size_t>(
+        ((n * shape_.c() + c) * shape_.h() + h) * shape_.w() + w)];
+  }
   float at4(std::int64_t n, std::int64_t c, std::int64_t h,
-            std::int64_t w) const;
+            std::int64_t w) const {
+    LP_DCHECK(shape_.rank() == 4);
+    LP_DCHECK(n >= 0 && n < shape_.n() && c >= 0 && c < shape_.c() &&
+              h >= 0 && h < shape_.h() && w >= 0 && w < shape_.w());
+    return data_[static_cast<std::size_t>(
+        ((n * shape_.c() + c) * shape_.h() + h) * shape_.w() + w)];
+  }
 
   /// Rank-2 element access.
-  float& at2(std::int64_t r, std::int64_t c);
-  float at2(std::int64_t r, std::int64_t c) const;
+  float& at2(std::int64_t r, std::int64_t c) {
+    LP_DCHECK(shape_.rank() == 2);
+    LP_DCHECK(r >= 0 && r < shape_.dim(0) && c >= 0 && c < shape_.dim(1));
+    return data_[static_cast<std::size_t>(r * shape_.dim(1) + c)];
+  }
+  float at2(std::int64_t r, std::int64_t c) const {
+    LP_DCHECK(shape_.rank() == 2);
+    LP_DCHECK(r >= 0 && r < shape_.dim(0) && c >= 0 && c < shape_.dim(1));
+    return data_[static_cast<std::size_t>(r * shape_.dim(1) + c)];
+  }
+
+  /// Steals `t`'s buffer into a tensor of `shape` without copying; element
+  /// counts must match. Used to pass tensors through Flatten for free.
+  static Tensor reshaped(Tensor&& t, Shape shape);
 
   /// Largest absolute element-wise difference; shapes must match.
   static double max_abs_diff(const Tensor& a, const Tensor& b);

@@ -1,0 +1,84 @@
+#include "exec/thread_pool.h"
+
+#include <algorithm>
+
+namespace lp::exec {
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0)
+    num_threads =
+        std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+  workers_.reserve(static_cast<std::size_t>(num_threads - 1));
+  for (int i = 1; i < num_threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ThreadPool::run_chunks(const RangeFn& fn) {
+  std::int64_t i;
+  while ((i = next_.fetch_add(1, std::memory_order_relaxed)) < num_chunks_) {
+    const std::int64_t b = begin_ + i * chunk_;
+    fn(b, std::min(b + chunk_, end_));
+  }
+}
+
+void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end,
+                              std::int64_t grain, const RangeFn& fn) {
+  grain = std::max<std::int64_t>(grain, 1);
+  const std::int64_t total = end - begin;
+  if (total <= 0) return;
+  if (workers_.empty() || total < 2 * grain) {
+    fn(begin, end);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Fixed chunk geometry, ~4 chunks per thread for load balance but never
+    // below the grain: deterministic in everything except which thread runs
+    // which chunk.
+    const std::int64_t target = static_cast<std::int64_t>(num_threads()) * 4;
+    chunk_ = std::max(grain, (total + target - 1) / target);
+    num_chunks_ = (total + chunk_ - 1) / chunk_;
+    begin_ = begin;
+    end_ = end;
+    fn_ = &fn;
+    acked_ = 0;
+    next_.store(0, std::memory_order_relaxed);
+    ++generation_;
+  }
+  cv_work_.notify_all();
+  run_chunks(fn);
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [this] { return acked_ == workers_.size(); });
+  fn_ = nullptr;
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const RangeFn* fn = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      fn = fn_;
+    }
+    run_chunks(*fn);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++acked_;
+    }
+    cv_done_.notify_one();
+  }
+}
+
+}  // namespace lp::exec

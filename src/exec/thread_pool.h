@@ -1,0 +1,68 @@
+// Minimal fork-join worker pool for the optimized execution path.
+//
+// parallel_for splits [begin, end) into a fixed set of contiguous chunks
+// whose boundaries depend only on the range, the grain, and the pool size —
+// never on scheduling. Kernels assign every output element to exactly one
+// chunk and use a fixed per-element operation order, so results are
+// bit-identical for any interleaving of chunk execution (and, for the
+// kernels in exec/kernels.h, for any thread count).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lp::exec {
+
+class ThreadPool {
+ public:
+  /// `num_threads` counts the calling thread, so the pool spawns
+  /// `num_threads - 1` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()) + 1; }
+
+  using RangeFn = std::function<void(std::int64_t, std::int64_t)>;
+
+  /// Runs fn over disjoint sub-ranges that exactly cover [begin, end),
+  /// on the calling thread plus the pool workers; blocks until every chunk
+  /// has retired. `grain` is the smallest worthwhile chunk: ranges shorter
+  /// than two grains (or a pool of one) run inline on the caller. Not
+  /// reentrant; fn must not throw.
+  void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                    const RangeFn& fn);
+
+ private:
+  void worker_loop();
+  /// Claims and runs chunks of the current job until none remain; shared by
+  /// the calling thread and the workers.
+  void run_chunks(const RangeFn& fn);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  // Current job. All fields are published under mu_ before workers wake;
+  // next_ is the only field touched concurrently afterwards. parallel_for
+  // waits until every worker acknowledged the job, so no field is rewritten
+  // while a worker could still read it.
+  const RangeFn* fn_ = nullptr;
+  std::int64_t begin_ = 0;
+  std::int64_t end_ = 0;
+  std::int64_t chunk_ = 0;
+  std::int64_t num_chunks_ = 0;
+  std::atomic<std::int64_t> next_{0};
+  std::uint64_t generation_ = 0;
+  std::size_t acked_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace lp::exec

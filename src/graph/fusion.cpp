@@ -29,10 +29,14 @@ bool is_fusable_epilogue(OpType op) {
   }
 }
 
-std::vector<FusionGroup> fuse_segment(const Graph& g, std::size_t begin,
-                                      std::size_t end) {
+namespace {
+
+/// Greedy fusion over backbone positions [begin, end]; begin may be 0
+/// (partition-segment graphs have a real computation node there).
+std::vector<FusionGroup> fuse_range(const Graph& g, std::size_t begin,
+                                    std::size_t end) {
   const auto& order = g.backbone();
-  LP_CHECK(begin >= 1 && begin <= end && end < order.size());
+  LP_CHECK(begin <= end && end < order.size());
 
   /// Does `node` consume exactly `prev` among CNodes (weights ignored)?
   auto consumes_only = [&](NodeId node, NodeId prev) {
@@ -74,8 +78,20 @@ std::vector<FusionGroup> fuse_segment(const Graph& g, std::size_t begin,
   return groups;
 }
 
+}  // namespace
+
+std::vector<FusionGroup> fuse_segment(const Graph& g, std::size_t begin,
+                                      std::size_t end) {
+  LP_CHECK(begin >= 1);
+  return fuse_range(g, begin, end);
+}
+
 std::vector<FusionGroup> fuse_groups(const Graph& g) {
   return fuse_segment(g, 1, g.n());
+}
+
+std::vector<FusionGroup> fuse_for_execution(const Graph& g) {
+  return fuse_range(g, 0, g.backbone().size() - 1);
 }
 
 }  // namespace lp::graph

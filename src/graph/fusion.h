@@ -44,4 +44,12 @@ std::vector<FusionGroup> fuse_segment(const Graph& g, std::size_t begin,
 /// fuse_segment over the whole backbone.
 std::vector<FusionGroup> fuse_groups(const Graph& g);
 
+/// Fusion groups covering *every* backbone position of `g`, in execution
+/// order — the optimized interpreter's schedule. Unlike fuse_groups this
+/// also covers position 0 (the Input node in whole graphs, or a real
+/// computation node in partition-segment graphs, whose boundary tensors
+/// arrive as Parameters) and any structural MakeTuple/Return tail; such
+/// nodes always form singleton groups.
+std::vector<FusionGroup> fuse_for_execution(const Graph& g);
+
 }  // namespace lp::graph

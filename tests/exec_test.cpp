@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <vector>
 
 #include "common/check.h"
 #include "exec/interpreter.h"
+#include "exec/thread_pool.h"
 #include "graph/graph.h"
 
 namespace lp::exec {
@@ -218,6 +221,121 @@ TEST(Interpreter, BatchGreaterThanOne) {
   ASSERT_EQ(out[0].shape(), (Shape{2, 1, 1, 1}));
   EXPECT_FLOAT_EQ(out[0].at(0), 4.0f);
   EXPECT_FLOAT_EQ(out[0].at(1), 0.0f);  // max is negative, relu clamps
+}
+
+/// Runs `g` in reference mode and in optimized mode (1 and 4 threads) and
+/// asserts the outputs are bit-identical.
+void expect_modes_identical(const graph::Graph& g, const TensorMap& bind) {
+  const auto ref =
+      Interpreter(g, {ExecMode::kReference, 1}).run(bind);
+  for (int threads : {1, 4}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const auto opt =
+        Interpreter(g, {ExecMode::kOptimized, threads}).run(bind);
+    ASSERT_EQ(opt.size(), ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i)
+      EXPECT_EQ(Tensor::max_abs_diff(opt[i], ref[i]), 0.0);
+  }
+}
+
+TEST(Interpreter, MaxPoolVeryNegativeWindow) {
+  // Every window value is far below -1e30; a finite "identity" would leak
+  // into the output, the true -inf identity cannot.
+  GraphBuilder b("negpool");
+  auto x = b.input({1, 1, 2, 2});
+  graph::Graph g = b.build(b.maxpool(x, 2, 2, 0, false, "p"));
+  Tensor input(Shape{1, 1, 2, 2}, {-1e32f, -2e32f, -3e32f, -4e32f});
+  for (auto mode : {ExecMode::kReference, ExecMode::kOptimized}) {
+    const auto out = Interpreter(g, {mode, 1}).run({{"input", input}});
+    EXPECT_FLOAT_EQ(out[0].at(0), -1e32f);
+  }
+}
+
+TEST(Interpreter, DepthwiseStride2PaddedMatchesReference) {
+  GraphBuilder b("dw-s2");
+  auto x = b.input({1, 3, 5, 5});
+  graph::Graph g = b.build(b.dwconv2d(x, 3, 2, 1, true, "dw"));
+  expect_modes_identical(
+      g, {{"input", random_tensor(Shape{1, 3, 5, 5}, 42)}});
+}
+
+TEST(Interpreter, ConcatThreeInputs) {
+  GraphBuilder b("cat3");
+  auto x = b.input({1, 2, 3, 3});
+  auto r = b.relu(x, "r");
+  auto s = b.sigmoid(x, "s");
+  auto t = b.tanh(x, "t");
+  graph::Graph g = b.build(b.concat({r, s, t}, "cat"));
+  const auto input = random_tensor(Shape{1, 2, 3, 3}, 7);
+  const auto out =
+      Interpreter(g, {ExecMode::kOptimized, 1}).run({{"input", input}});
+  ASSERT_EQ(out[0].shape(), (Shape{1, 6, 3, 3}));
+  // Channel blocks land in argument order.
+  EXPECT_FLOAT_EQ(out[0].at4(0, 0, 1, 1),
+                  std::max(0.0f, input.at4(0, 0, 1, 1)));
+  EXPECT_FLOAT_EQ(out[0].at4(0, 4, 2, 2), std::tanh(input.at4(0, 0, 2, 2)));
+  expect_modes_identical(g, {{"input", input}});
+}
+
+TEST(Interpreter, FusedResidualDagMatchesReference) {
+  // Conv+BN+ReLU stacks, a residual Add with epilogue, Flatten and FC:
+  // exercises every fused-kernel path the optimized engine has.
+  GraphBuilder b("resdag");
+  auto x = b.input({1, 3, 8, 8});
+  auto c1 = b.relu(b.batchnorm(b.conv2d(x, 8, 3, 1, 1, false, "c1"), "bn1"));
+  auto c2 = b.batchnorm(b.conv2d(c1, 8, 3, 1, 1, false, "c2"), "bn2");
+  auto sum = b.relu(b.add(c2, c1, "sum"));
+  auto head = b.fc(b.flatten(b.maxpool(sum, 2, 2), "flat"), 10, true, "fc");
+  graph::Graph g = b.build(b.softmax(head));
+  expect_modes_identical(
+      g, {{"input", random_tensor(Shape{1, 3, 8, 8}, 11)}});
+}
+
+TEST(Interpreter, RunStatsReportLivenessSavings) {
+  GraphBuilder b("stats");
+  auto x = b.input({1, 4, 16, 16});
+  auto c1 = b.relu(b.conv2d(x, 8, 3, 1, 1, true, "c1"));
+  auto c2 = b.relu(b.conv2d(c1, 8, 3, 1, 1, true, "c2"));
+  graph::Graph g = b.build(b.flatten(b.maxpool(c2, 2, 2), "flat"));
+  const auto input = random_tensor(Shape{1, 4, 16, 16}, 3);
+
+  RunStats stats;
+  const auto out =
+      Interpreter(g, {ExecMode::kOptimized, 1}).run({{"input", input}}, &stats);
+  EXPECT_GT(stats.fused_groups, 0);
+  EXPECT_GT(stats.moved_tensors, 0);  // Flatten moves, never copies
+  EXPECT_GT(stats.released_bytes, 0);
+  EXPECT_GE(stats.peak_resident_bytes, stats.final_resident_bytes);
+  // Only the output survives to the end.
+  EXPECT_EQ(stats.final_resident_bytes, out[0].bytes());
+  // Liveness keeps the peak below "everything resident at once".
+  std::int64_t all_bytes = 0;
+  for (const auto& node : g.nodes())
+    all_bytes += node.output.shape.elements() * 4;
+  EXPECT_LT(stats.peak_resident_bytes, all_bytes);
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(0, 1000, 1, [&](std::int64_t lo, std::int64_t hi) {
+    for (std::int64_t i = lo; i < hi; ++i)
+      hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SmallRangeRunsInlineAndSerialIsUsable) {
+  // total < 2*grain executes on the caller; a 1-thread pool always does.
+  for (int threads : {1, 4}) {
+    ThreadPool pool(threads);
+    std::atomic<std::int64_t> sum{0};
+    pool.parallel_for(10, 20, 100, [&](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t i = lo; i < hi; ++i) sum.fetch_add(i);
+    });
+    EXPECT_EQ(sum.load(), 145);  // 10+11+...+19
+  }
 }
 
 TEST(Interpreter, MissingInputBindingThrows) {
