@@ -15,6 +15,26 @@ const char* outcome_name(InferenceOutcome outcome) {
       return "admitted";
     case InferenceOutcome::kDegradedLocal:
       return "degraded";
+    case InferenceOutcome::kRecoveredLocal:
+      return "recovered";
+    case InferenceOutcome::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+const char* failure_name(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::kNone:
+      return "none";
+    case FailureKind::kTimeout:
+      return "timeout";
+    case FailureKind::kLinkDrop:
+      return "link-drop";
+    case FailureKind::kServerDown:
+      return "server-down";
+    case FailureKind::kShed:
+      return "shed";
   }
   return "?";
 }
@@ -39,6 +59,33 @@ namespace {
 /// Multiplicative jitter factor, clamped away from zero.
 double jitter_scale(Rng& rng, double frac) {
   return std::max(0.2, 1.0 + frac * rng.normal());
+}
+
+/// Heap-allocated per-attempt reply block. The client and the server (and
+/// the client's own deadline watcher) all hold it through shared_ptr /
+/// SuffixRequest::keepalive, so whichever side finishes last still writes
+/// into live memory — a client that gives up on an attempt can safely
+/// abandon it.
+struct PendingReply {
+  explicit PendingReply(sim::Simulator& sim) : done(sim) {}
+  sim::Event done;
+  double exec = 0.0;
+  double overhead = 0.0;
+  double queue_wait = 0.0;
+  SuffixStatus status = SuffixStatus::kServed;
+};
+
+/// Fires at `deadline`; if the reply is still pending, resolves it as a
+/// client-side timeout. Whoever triggers `done` first wins — the loser
+/// sees triggered() and backs off, so the waiter resumes exactly once.
+sim::Task watch_deadline(sim::Simulator& sim,
+                         std::shared_ptr<PendingReply> reply,
+                         TimeNs deadline) {
+  co_await sim.delay(std::max<DurationNs>(0, deadline - sim.now()));
+  if (!reply->done.triggered()) {
+    reply->status = SuffixStatus::kClientTimeout;
+    reply->done.trigger();
+  }
 }
 }  // namespace
 
@@ -79,7 +126,12 @@ sim::Task OffloadServer::service() {
       *request.queue_wait_seconds = to_seconds(sim_->now() - request.enqueued);
     co_await execute_suffix(request.p, request.exec_seconds,
                             request.overhead_seconds);
-    request.done->trigger();
+    // The client's deadline watcher may have resolved the attempt already;
+    // its trigger wins and the late result is dropped.
+    if (!request.done->triggered()) {
+      if (request.status != nullptr) *request.status = SuffixStatus::kServed;
+      request.done->trigger();
+    }
   }
 }
 
@@ -164,6 +216,8 @@ OffloadClient::OffloadClient(sim::Simulator& sim, const hw::CpuModel& cpu,
       estimator_(params.bandwidth_window),
       cache_(params.cache_capacity),
       infer_slot_(sim, 1),
+      breaker_(params.fault.breaker_failures,
+               seconds(params.fault.breaker_cooldown_sec)),
       rng_(seed) {}
 
 double OffloadClient::partition_overhead_sec(std::size_t nodes,
@@ -201,6 +255,19 @@ Decision OffloadClient::current_decision() const {
   return Decision{n, 0.0};
 }
 
+sim::Task OffloadClient::run_suffix_locally(std::size_t p,
+                                            InferenceRecord* rec) {
+  const auto& g = profile_->graph();
+  const std::size_t n = profile_->n();
+  const DurationNs base = cpu_->segment_time(g, p + 1, n);
+  const DurationNs actual = std::max<DurationNs>(
+      1, static_cast<DurationNs>(
+             static_cast<double>(base) *
+             jitter_scale(rng_, cpu_->params().jitter_frac)));
+  co_await sim_->delay(actual);
+  rec->device_sec += to_seconds(actual);
+}
+
 sim::Task OffloadClient::infer(InferenceRecord* out) {
   LP_CHECK(out != nullptr);
   co_await infer_slot_.acquire();  // one inference at a time on the device
@@ -209,7 +276,15 @@ sim::Task OffloadClient::infer(InferenceRecord* out) {
 
   InferenceRecord rec;
   rec.start = sim_->now();
-  const Decision decision = current_decision();
+  Decision decision = current_decision();
+  // An open circuit breaker pins the policy to local-only until the
+  // cooldown admits a half-open probe.
+  if (decision.p < n && breaker_.enabled() &&
+      !breaker_.allow(sim_->now())) {
+    decision =
+        Decision{n, profile_->predicted_latency(n, 1.0, estimator_.estimate())};
+    rec.breaker_forced_local = true;
+  }
   rec.p = decision.p;
   rec.predicted_sec = decision.predicted_latency;
   rec.k_used = policy_ == Policy::kLoadPart ||
@@ -270,55 +345,120 @@ sim::Task OffloadClient::infer(InferenceRecord* out) {
       }
     }
 
-    // Ship the boundary tensors (plus the partition-point header).
+    // Ship the boundary tensors (plus the partition-point header), submit
+    // the suffix, wait for the result, download it. Each of those steps
+    // can fault; the device still holds the boundary tensor at the cut, so
+    // a failed attempt is retried (with backoff) or failed over to local
+    // execution of {Lp+1..Ln} — never re-run from scratch.
     const std::int64_t payload =
         plan->boundary_bytes + params_.header_bytes;
-    DurationNs upload_ns = 0;
-    co_await link_->upload(payload, &upload_ns);
-    rec.upload_sec = to_seconds(upload_ns);
-    rec.upload_bytes += payload;
-    // Passive bandwidth measurement (Section IV): real uploads feed the
-    // sliding window alongside the active probes.
-    estimator_.add_transfer(payload, upload_ns);
+    const auto& fp = params_.fault;
+    bool resolved = false;
+    for (int attempt = 0; !resolved;) {
+      const TimeNs attempt_deadline =
+          fp.rpc_timeout_sec > 0.0
+              ? sim_->now() + seconds(fp.rpc_timeout_sec)
+              : 0;
+      FailureKind failure = FailureKind::kNone;
 
-    double exec = 0.0, server_overhead = 0.0, queue_wait = 0.0;
-    sim::Event result_ready(*sim_);
-    SuffixRequest request;
-    request.p = p;
-    request.done = &result_ready;
-    request.exec_seconds = &exec;
-    request.overhead_seconds = &server_overhead;
-    request.queue_wait_seconds = &queue_wait;
-    request.session = session_;
-    if (params_.slo_sec > 0.0)
-      request.deadline = rec.start + seconds(params_.slo_sec);
-    request.predicted_sec = rec.k_used * profile_->suffix_g(p);
-    request.bandwidth_bps = estimator_.estimate();
-    if (server_->submit(request) == SubmitStatus::kAccepted) {
-      co_await result_ready.wait();
-      rec.server_sec = exec;
-      rec.overhead_sec += server_overhead;
-      rec.queue_wait_sec = queue_wait;
-      rec.outcome = InferenceOutcome::kAdmitted;
+      DurationNs upload_ns = 0;
+      net::TransferOutcome up;
+      co_await link_->upload(payload, &upload_ns, attempt_deadline, &up);
+      if (up.status == net::TransferStatus::kOk) {
+        rec.upload_sec += to_seconds(upload_ns);
+        rec.upload_bytes += payload;
+        // Passive bandwidth measurement (Section IV): real uploads feed
+        // the sliding window alongside the active probes.
+        estimator_.add_transfer(payload, upload_ns);
+      } else {
+        failure = up.status == net::TransferStatus::kLost
+                      ? FailureKind::kLinkDrop
+                      : FailureKind::kTimeout;
+      }
 
-      DurationNs down_ns = 0;
-      co_await link_->download(g.output_desc().bytes(), &down_ns);
-      rec.download_sec = to_seconds(down_ns);
-      rec.download_bytes = g.output_desc().bytes();
-    } else {
-      // "Server busy": the frontend shed the request. Degrade by finishing
-      // the suffix {Lp+1..Ln} on the device (the uploaded tensors are
-      // wasted work) and treat the shed as a load signal.
-      rec.outcome = InferenceOutcome::kDegradedLocal;
-      if (policy_ == Policy::kLoadPart)
-        k_cached_ = std::min(k_cached_ * params_.reject_k_backoff, 1e6);
-      const DurationNs base = cpu_->segment_time(g, p + 1, n);
-      const DurationNs actual = std::max<DurationNs>(
-          1, static_cast<DurationNs>(
-                 static_cast<double>(base) *
-                 jitter_scale(rng_, cpu_->params().jitter_frac)));
-      co_await sim_->delay(actual);
-      rec.device_sec += to_seconds(actual);
+      if (failure == FailureKind::kNone) {
+        auto reply = std::make_shared<PendingReply>(*sim_);
+        SuffixRequest request;
+        request.p = p;
+        request.done = &reply->done;
+        request.exec_seconds = &reply->exec;
+        request.overhead_seconds = &reply->overhead;
+        request.queue_wait_seconds = &reply->queue_wait;
+        request.status = &reply->status;
+        request.keepalive = reply;
+        request.session = session_;
+        if (params_.slo_sec > 0.0)
+          request.deadline = rec.start + seconds(params_.slo_sec);
+        request.predicted_sec = rec.k_used * profile_->suffix_g(p);
+        request.bandwidth_bps = estimator_.estimate();
+        const SubmitStatus submit = server_->submit(request);
+        if (submit == SubmitStatus::kRejected) {
+          // "Server busy": the frontend shed the request. Degrade by
+          // finishing the suffix on the device (the uploaded tensors are
+          // wasted work) and treat the shed as a load signal. A shed is a
+          // *reachability success* for the breaker: the server answered.
+          rec.outcome = InferenceOutcome::kDegradedLocal;
+          rec.last_failure = FailureKind::kShed;
+          breaker_.record_success();
+          if (policy_ == Policy::kLoadPart)
+            k_cached_ = std::min(k_cached_ * params_.reject_k_backoff, 1e6);
+          co_await run_suffix_locally(p, &rec);
+          resolved = true;
+          continue;
+        }
+        if (submit == SubmitStatus::kDown) {
+          // Connection refused: the server is crashed.
+          failure = FailureKind::kServerDown;
+        } else {
+          if (attempt_deadline > 0)
+            sim_->spawn(watch_deadline(*sim_, reply, attempt_deadline));
+          co_await reply->done.wait();
+          if (reply->status == SuffixStatus::kServed) {
+            DurationNs down_ns = 0;
+            net::TransferOutcome down;
+            co_await link_->download(g.output_desc().bytes(), &down_ns,
+                                     attempt_deadline, &down);
+            if (down.status == net::TransferStatus::kOk) {
+              rec.server_sec = reply->exec;
+              rec.overhead_sec += reply->overhead;
+              rec.queue_wait_sec = reply->queue_wait;
+              rec.outcome = InferenceOutcome::kAdmitted;
+              rec.download_sec = to_seconds(down_ns);
+              rec.download_bytes = g.output_desc().bytes();
+              breaker_.record_success();
+              resolved = true;
+              continue;
+            }
+            failure = down.status == net::TransferStatus::kLost
+                          ? FailureKind::kLinkDrop
+                          : FailureKind::kTimeout;
+          } else {
+            failure = reply->status == SuffixStatus::kServerDown
+                          ? FailureKind::kServerDown
+                          : FailureKind::kTimeout;
+          }
+        }
+      }
+
+      // A fault-type failure (timeout / link-drop / server-down).
+      rec.last_failure = failure;
+      ++rec.faults;
+      breaker_.record_failure(sim_->now());
+      if (attempt < fp.max_retries) {
+        ++attempt;
+        ++rec.retries;
+        co_await sim_->delay(fp.backoff.delay(attempt, rng_));
+        continue;
+      }
+      // Retry budget exhausted: fail over to the device (the boundary
+      // tensor is still here) or drop the request (fail-stop).
+      if (fp.local_fallback) {
+        rec.outcome = InferenceOutcome::kRecoveredLocal;
+        co_await run_suffix_locally(p, &rec);
+      } else {
+        rec.outcome = InferenceOutcome::kFailed;
+      }
+      resolved = true;
     }
   }
 
@@ -333,22 +473,50 @@ void OffloadClient::start_runtime_profiler(DurationNs period) {
 
 sim::Task OffloadClient::runtime_profiler(DurationNs period) {
   LP_CHECK(period > 0);
+  const double timeout = params_.fault.rpc_timeout_sec;
   for (;;) {
     // Active bandwidth probe; size adapts to the current estimate.
     const std::int64_t probe = estimator_.next_probe_bytes();
     DurationNs measured = 0;
-    co_await link_->upload(probe, &measured);
-    estimator_.add_transfer(probe, measured);
+    net::TransferOutcome probe_out;
+    co_await link_->upload(probe, &measured,
+                           timeout > 0.0 ? sim_->now() + seconds(timeout) : 0,
+                           &probe_out);
+    if (probe_out.status == net::TransferStatus::kOk) {
+      estimator_.add_transfer(probe, measured);
+    } else if (probe_out.status == net::TransferStatus::kTimedOut &&
+               probe_out.elapsed > 0) {
+      // Censored observation: the probe did NOT finish within `elapsed`, so
+      // bytes/elapsed upper-bounds the true bandwidth. Feeding it keeps the
+      // estimator tracking during blackouts instead of going blind (a lost
+      // probe teaches nothing — loss is bandwidth-independent).
+      estimator_.add_sample(static_cast<double>(probe) * 8.0 /
+                            to_seconds(probe_out.elapsed));
+    }
 
     // Ask the server-side profiler for the latest k (small control
     // message, one round trip). The Neurosurgeon baseline keeps only the
-    // first (idle-calibration) value.
-    co_await link_->upload(params_.header_bytes, nullptr);
-    const double k = server_->session_k(session_);
-    co_await link_->download(params_.header_bytes, nullptr);
-    if (policy_ != Policy::kNeurosurgeon || !k_fetched_once_) {
-      k_cached_ = k;
-      k_fetched_once_ = true;
+    // first (idle-calibration) value. A crashed server refuses the fetch;
+    // the cached k survives until the next successful round trip.
+    if (server_->alive()) {
+      net::TransferOutcome ctl;
+      co_await link_->upload(params_.header_bytes, nullptr,
+                             timeout > 0.0 ? sim_->now() + seconds(timeout)
+                                           : 0,
+                             &ctl);
+      if (ctl.status == net::TransferStatus::kOk && server_->alive()) {
+        const double k = server_->session_k(session_);
+        co_await link_->download(params_.header_bytes, nullptr,
+                                 timeout > 0.0
+                                     ? sim_->now() + seconds(timeout)
+                                     : 0,
+                                 &ctl);
+        if (ctl.status == net::TransferStatus::kOk &&
+            (policy_ != Policy::kNeurosurgeon || !k_fetched_once_)) {
+          k_cached_ = k;
+          k_fetched_once_ = true;
+        }
+      }
     }
 
     co_await sim_->delay(period);

@@ -15,11 +15,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/algorithm.h"
 #include "core/load_factor.h"
 #include "core/predictor.h"
+#include "fault/retry.h"
 #include "hw/cpu_model.h"
 #include "hw/gpu_model.h"
 #include "hw/gpu_scheduler.h"
@@ -78,6 +80,30 @@ struct RuntimeParams {
   /// profiler fetch re-syncs with the server's published k. Applied to
   /// Policy::kLoadPart only (load-oblivious baselines stay oblivious).
   double reject_k_backoff = 1.5;
+
+  /// Client-side failure recovery. Defaults preserve the no-failure
+  /// universe: with rpc_timeout_sec = 0 no deadline is armed and the
+  /// machinery only activates when a fault actually surfaces (a crashed
+  /// server failing a request, or a refused submit).
+  struct FaultToleranceParams {
+    /// Per-attempt RPC deadline covering upload + service + download;
+    /// 0 disables timeouts (a request then waits indefinitely).
+    double rpc_timeout_sec = 0.0;
+    /// Re-attempts after the first failure (the retry budget).
+    int max_retries = 2;
+    /// Delay between attempts (deterministically jittered exponential).
+    fault::BackoffPolicy backoff;
+    /// When the budget is spent: re-execute the suffix {Lp+1..Ln} on the
+    /// device from the boundary tensor the device already holds (the
+    /// request is recovered, not lost). false = fail-stop: the request is
+    /// dropped with InferenceOutcome::kFailed.
+    bool local_fallback = true;
+    /// Consecutive fault-failures that open the per-client circuit breaker
+    /// (the policy is pinned to local-only for the cooldown); 0 disables.
+    int breaker_failures = 0;
+    double breaker_cooldown_sec = 5.0;
+  };
+  FaultToleranceParams fault;
 };
 
 /// What happened to one inference request at the serving layer.
@@ -85,9 +111,24 @@ enum class InferenceOutcome : std::uint8_t {
   kLocalDecision,  ///< the policy chose p = n; nothing left the device
   kAdmitted,       ///< the suffix was admitted and served by the edge
   kDegradedLocal,  ///< shed by the server; the suffix re-ran on the device
+  kRecoveredLocal, ///< offload path faulted; the suffix re-ran on the
+                   ///< device from the boundary tensor (failover)
+  kFailed,         ///< faulted with local_fallback off: the request is lost
 };
 
 const char* outcome_name(InferenceOutcome outcome);
+
+/// The last fault a request observed on its offload path (kShed is the
+/// admission-control "server busy" reply; the rest are failures).
+enum class FailureKind : std::uint8_t {
+  kNone,
+  kTimeout,     ///< the per-attempt RPC deadline expired
+  kLinkDrop,    ///< injected packet loss killed a transfer
+  kServerDown,  ///< the server crashed mid-request or refused as down
+  kShed,        ///< admission control shed the request
+};
+
+const char* failure_name(FailureKind kind);
 
 /// Everything measured about one inference (a sample of Figs. 1/2/6-9).
 struct InferenceRecord {
@@ -107,6 +148,12 @@ struct InferenceRecord {
   double predicted_sec = 0.0;
   InferenceOutcome outcome = InferenceOutcome::kLocalDecision;
   double queue_wait_sec = 0.0;  ///< server-side time from arrival to dispatch
+
+  // Failure taxonomy (fault-tolerance layer).
+  FailureKind last_failure = FailureKind::kNone;
+  int retries = 0;  ///< backoff-delayed re-attempts after failures
+  int faults = 0;   ///< fault-type failures observed across all attempts
+  bool breaker_forced_local = false;  ///< open breaker pinned p = n
 };
 
 /// An offloading request as it arrives at the server-side service
@@ -114,12 +161,26 @@ struct InferenceRecord {
 /// result is ready". The transfer times of the request payload and the
 /// result are charged by the client on its link; the service charges the
 /// partition preparation and GPU execution.
+/// How the server resolved one SuffixRequest (written through
+/// SuffixRequest::status before `done` triggers). kClientTimeout is set by
+/// the client's own deadline watcher, never by the server.
+enum class SuffixStatus : std::uint8_t {
+  kServed,
+  kServerDown,     ///< the server crashed before the result was ready
+  kClientTimeout,  ///< the client's RPC deadline expired while waiting
+};
+
 struct SuffixRequest {
   std::size_t p = 0;
   sim::Event* done = nullptr;      ///< triggered when the result is ready
   double* exec_seconds = nullptr;  ///< out: measured (contended) GPU time
   double* overhead_seconds = nullptr;  ///< out: partition-cache miss cost
   double* queue_wait_seconds = nullptr;  ///< out: arrival-to-dispatch wait
+  SuffixStatus* status = nullptr;  ///< out: how the request resolved
+  /// Keeps the block behind the out-pointers (and `done`) alive until the
+  /// server is finished with them, so a client that times out and moves on
+  /// cannot dangle a late reply.
+  std::shared_ptr<void> keepalive;
 
   // Serving-layer metadata (ignored by the plain OffloadServer).
   std::uint64_t session = 0;   ///< frontend session of the requesting client
@@ -131,8 +192,10 @@ struct SuffixRequest {
 
 /// Verdict of the server-side admission check, returned synchronously from
 /// submit(). On kRejected ("server busy") nothing was enqueued and the
-/// client must complete the inference on the device.
-enum class SubmitStatus : std::uint8_t { kAccepted, kRejected };
+/// client must complete the inference on the device. kDown models a
+/// connection refused by a crashed server: nothing was enqueued and the
+/// client treats it as a fault (retry / failover), not as load shedding.
+enum class SubmitStatus : std::uint8_t { kAccepted, kRejected, kDown };
 
 /// The server-side interface the client offloads through: either the
 /// paper's single-tenant OffloadServer (admits everything) or the
@@ -149,6 +212,10 @@ class SuffixService {
   /// Latest influential factor published for this session (the value the
   /// device runtime profiler fetches).
   virtual double session_k(std::uint64_t session) const = 0;
+
+  /// False while the service is crashed: control-plane fetches (the
+  /// profiler's k handshake) are skipped until it restarts.
+  virtual bool alive() const { return true; }
 };
 
 class OffloadServer : public SuffixService {
@@ -220,9 +287,11 @@ class OffloadClient {
   double cached_k() const { return k_cached_; }
   const net::BandwidthEstimator& estimator() const { return estimator_; }
   const partition::PartitionCache& cache() const { return cache_; }
+  const fault::CircuitBreaker& breaker() const { return breaker_; }
 
  private:
   sim::Task runtime_profiler(DurationNs period);
+  sim::Task run_suffix_locally(std::size_t p, InferenceRecord* rec);
   double partition_overhead_sec(std::size_t nodes, bool device) const;
 
   sim::Simulator* sim_;
@@ -238,6 +307,7 @@ class OffloadClient {
   /// Serializes overlapping infer() calls: the device runs one inference
   /// at a time (callers may still issue them concurrently).
   sim::Resource infer_slot_;
+  fault::CircuitBreaker breaker_;
   double k_cached_ = 1.0;
   bool k_fetched_once_ = false;
   /// Parameter nodes already shipped to the server (weights_preloaded =

@@ -1,0 +1,66 @@
+#include "fault/retry.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace lp::fault {
+
+DurationNs BackoffPolicy::delay(int attempt, Rng& rng) const {
+  LP_CHECK(attempt >= 1);
+  LP_CHECK(base_sec >= 0.0 && mult >= 1.0 && max_sec >= base_sec);
+  LP_CHECK(jitter_frac >= 0.0 && jitter_frac < 1.0);
+  double raw = base_sec;
+  for (int i = 1; i < attempt && raw < max_sec; ++i) raw *= mult;
+  raw = std::min(raw, max_sec);
+  const double u = rng.uniform() * 2.0 - 1.0;  // [-1, 1)
+  return std::max<DurationNs>(0, seconds(raw * (1.0 + jitter_frac * u)));
+}
+
+CircuitBreaker::CircuitBreaker(int failure_threshold, DurationNs cooldown)
+    : threshold_(failure_threshold), cooldown_(cooldown) {
+  LP_CHECK(cooldown >= 0);
+}
+
+CircuitBreaker::State CircuitBreaker::state(TimeNs now) const {
+  if (!open_) return State::kClosed;
+  return now >= opened_at_ + cooldown_ ? State::kHalfOpen : State::kOpen;
+}
+
+bool CircuitBreaker::allow(TimeNs now) {
+  if (!enabled()) return true;
+  switch (state(now)) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      return false;
+    case State::kHalfOpen:
+      if (probe_in_flight_) return false;
+      probe_in_flight_ = true;
+      return true;
+  }
+  return true;
+}
+
+void CircuitBreaker::record_success() {
+  consecutive_failures_ = 0;
+  open_ = false;
+  probe_in_flight_ = false;
+}
+
+void CircuitBreaker::record_failure(TimeNs now) {
+  ++consecutive_failures_;
+  if (!enabled()) return;
+  if (open_) {
+    // The half-open probe failed (or a straggling attempt resolved after
+    // the breaker opened): restart the cooldown.
+    opened_at_ = now;
+    probe_in_flight_ = false;
+  } else if (consecutive_failures_ >= threshold_) {
+    open_ = true;
+    opened_at_ = now;
+    probe_in_flight_ = false;
+  }
+}
+
+}  // namespace lp::fault

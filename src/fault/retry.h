@@ -1,0 +1,68 @@
+// Client-side failure-recovery primitives: retry backoff and a circuit
+// breaker.
+//
+// Both are deterministic. BackoffPolicy draws its jitter from the caller's
+// Rng (the same seeded stream that drives everything else in a run), so a
+// rerun at the same seed retries at the same instants. The CircuitBreaker
+// is the standard closed -> open -> half-open machine: after `threshold`
+// consecutive failures it opens and refuses attempts for a cooldown, then
+// lets exactly one probe through (half-open); the probe's outcome either
+// closes it or re-opens it for another cooldown.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace lp::fault {
+
+/// Exponential backoff with a multiplicative cap and symmetric jitter.
+/// delay(attempt) = min(base * mult^(attempt-1), max) * (1 + jitter_frac*u)
+/// with u uniform in [-1, 1) drawn from the caller's Rng.
+struct BackoffPolicy {
+  double base_sec = 0.05;
+  double mult = 2.0;
+  double max_sec = 2.0;
+  double jitter_frac = 0.1;
+
+  /// Delay before retry number `attempt` (>= 1). Never negative.
+  DurationNs delay(int attempt, Rng& rng) const;
+};
+
+class CircuitBreaker {
+ public:
+  enum class State : std::uint8_t { kClosed, kOpen, kHalfOpen };
+
+  /// `failure_threshold` consecutive failures open the breaker;
+  /// <= 0 disables it (allow() is always true). `cooldown` is how long it
+  /// stays open before admitting the half-open probe.
+  CircuitBreaker(int failure_threshold, DurationNs cooldown);
+
+  /// True when an attempt may proceed. In the half-open state this admits
+  /// exactly one probe; further calls return false until the probe's
+  /// outcome is recorded.
+  bool allow(TimeNs now);
+
+  /// The attempt succeeded: close the breaker and clear the failure run.
+  void record_success();
+
+  /// The attempt failed: extend the failure run; opens the breaker at the
+  /// threshold, and re-opens it (restarting the cooldown) when the
+  /// half-open probe fails.
+  void record_failure(TimeNs now);
+
+  State state(TimeNs now) const;
+  int consecutive_failures() const { return consecutive_failures_; }
+  bool enabled() const { return threshold_ > 0; }
+
+ private:
+  int threshold_;
+  DurationNs cooldown_;
+  int consecutive_failures_ = 0;
+  bool open_ = false;
+  bool probe_in_flight_ = false;
+  TimeNs opened_at_ = 0;
+};
+
+}  // namespace lp::fault

@@ -2,6 +2,7 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "fault/fault_plan.h"
 
 namespace lp::net {
 
@@ -9,7 +10,7 @@ BandwidthTrace::BandwidthTrace(std::vector<Step> steps)
     : steps_(std::move(steps)) {
   LP_CHECK(!steps_.empty());
   for (std::size_t i = 0; i < steps_.size(); ++i) {
-    LP_CHECK(steps_[i].bandwidth > 0.0);
+    LP_CHECK(steps_[i].bandwidth >= 0.0);
     if (i) LP_CHECK_MSG(steps_[i].at >= steps_[i - 1].at, "unsorted trace");
   }
 }
@@ -35,7 +36,7 @@ BandwidthTrace BandwidthTrace::gilbert_elliott(DurationNs total,
                                                DurationNs mean_good_dwell,
                                                DurationNs mean_bad_dwell,
                                                std::uint64_t seed) {
-  LP_CHECK(total > 0 && good_bw > 0.0 && bad_bw > 0.0);
+  LP_CHECK(total > 0 && good_bw > 0.0 && bad_bw >= 0.0);
   LP_CHECK(mean_good_dwell > 0 && mean_bad_dwell > 0);
   Rng rng(seed);
   std::vector<Step> steps;
@@ -58,6 +59,32 @@ BitsPerSec BandwidthTrace::bandwidth_at(TimeNs t) const {
     bw = s.bandwidth;
   }
   return bw;
+}
+
+TimeNs BandwidthTrace::next_positive_at(TimeNs t) const {
+  if (bandwidth_at(t) > 0.0) return t;
+  for (const auto& s : steps_)
+    if (s.at > t && s.bandwidth > 0.0) return s.at;
+  return -1;
+}
+
+BandwidthTrace apply_link_faults(const BandwidthTrace& base,
+                                 const fault::FaultPlan& plan) {
+  BandwidthTrace trace = base;
+  for (const fault::FaultPlan::LinkFault& f : plan.link_faults()) {
+    const TimeNs begin = f.window.begin;
+    const TimeNs end = f.window.end;
+    const BitsPerSec resume = trace.bandwidth_at(end);
+    std::vector<BandwidthTrace::Step> steps;
+    for (const auto& s : trace.steps())
+      if (s.at < begin) steps.push_back(s);
+    steps.push_back({begin, f.bandwidth});
+    steps.push_back({end, resume});
+    for (const auto& s : trace.steps())
+      if (s.at > end) steps.push_back(s);
+    trace = BandwidthTrace(std::move(steps));
+  }
+  return trace;
 }
 
 }  // namespace lp::net

@@ -24,25 +24,67 @@ BitsPerSec Link::true_download_bw() const {
 }
 
 sim::Task Link::transfer(std::int64_t bytes, const BandwidthTrace& trace,
-                         DurationNs* measured) {
+                         DurationNs* measured, TimeNs deadline,
+                         TransferOutcome* outcome) {
   LP_CHECK(bytes >= 0);
-  const BitsPerSec bw = trace.bandwidth_at(sim_->now());
+  const TimeNs start = sim_->now();
   // ~3% multiplicative jitter models MAC-layer variance; clamped so a
   // transfer can never be instant.
   const double scale = std::max(0.5, 1.0 + 0.03 * rng_.normal());
-  const DurationNs t =
+
+  // Blackout stall: a zero-bandwidth segment means the link is down; the
+  // send begins when the trace next turns positive.
+  const TimeNs begin = trace.next_positive_at(start);
+  if (begin < 0) {
+    // The trace never recovers; only a deadline bounds this attempt.
+    LP_CHECK_MSG(deadline > 0,
+                 "transfer on a permanently dead link needs a deadline");
+    co_await sim_->delay(std::max<DurationNs>(0, deadline - start));
+    if (outcome != nullptr)
+      *outcome = {TransferStatus::kTimedOut, sim_->now() - start};
+    co_return;
+  }
+
+  const BitsPerSec bw = trace.bandwidth_at(begin);
+  const DurationNs send =
       rtt_ / 2 + static_cast<DurationNs>(
                      static_cast<double>(transfer_time(bytes, bw)) * scale);
-  co_await sim_->delay(t);
-  if (measured != nullptr) *measured = t;
+
+  // Injected packet loss: the attempt spends a deterministic partial send
+  // time on the air, then dies with a link-layer reset.
+  TimeNs finish = begin + send;
+  TransferStatus status = TransferStatus::kOk;
+  if (faults_ != nullptr) {
+    const double p = faults_->loss_prob(begin);
+    if (p > 0.0 && rng_.bernoulli(p)) {
+      status = TransferStatus::kLost;
+      finish = begin + rtt_ / 2 +
+               static_cast<DurationNs>(rng_.uniform() *
+                                       static_cast<double>(send - rtt_ / 2));
+    }
+  }
+
+  if (deadline > 0 && finish > deadline) {
+    co_await sim_->delay(std::max<DurationNs>(0, deadline - start));
+    if (outcome != nullptr)
+      *outcome = {TransferStatus::kTimedOut, sim_->now() - start};
+    co_return;
+  }
+
+  co_await sim_->delay(finish - start);
+  if (status == TransferStatus::kOk && measured != nullptr)
+    *measured = finish - start;
+  if (outcome != nullptr) *outcome = {status, finish - start};
 }
 
-sim::Task Link::upload(std::int64_t bytes, DurationNs* measured) {
-  return transfer(bytes, up_, measured);
+sim::Task Link::upload(std::int64_t bytes, DurationNs* measured,
+                       TimeNs deadline, TransferOutcome* outcome) {
+  return transfer(bytes, up_, measured, deadline, outcome);
 }
 
-sim::Task Link::download(std::int64_t bytes, DurationNs* measured) {
-  return transfer(bytes, down_, measured);
+sim::Task Link::download(std::int64_t bytes, DurationNs* measured,
+                         TimeNs deadline, TransferOutcome* outcome) {
+  return transfer(bytes, down_, measured, deadline, outcome);
 }
 
 }  // namespace lp::net

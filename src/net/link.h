@@ -4,14 +4,45 @@
 // jitter, where bandwidth follows a BandwidthTrace. This is the entire role
 // the WiFi link plays in the paper: the partition algorithm only consumes
 // s_p / B_u (and ignores the download term, Section IV).
+//
+// ## Failure contract
+//
+// Bandwidth is sampled when the transfer starts sending. A zero-bandwidth
+// trace segment is a hard blackout: a transfer that starts inside one makes
+// no progress and stalls until the trace next becomes positive, then sends
+// at the recovered bandwidth (it is NOT scheduled at an absurdly-far
+// completion time by dividing by ~zero). If the trace never recovers the
+// transfer can never complete, so callers that may face a blackout MUST
+// pass a deadline; a no-deadline transfer on a permanently dead link is a
+// contract error.
+//
+// With a deadline (absolute sim time; 0 = none), a transfer that cannot
+// complete by it gives up exactly at the deadline and reports
+// TransferStatus::kTimedOut. An attached FaultPlan additionally injects
+// per-transfer packet loss: a lost transfer spends a deterministic partial
+// send time, then reports kLost (a link-layer reset, not a silent hang).
+// `measured` is only written for successful transfers — it is the passive
+// bandwidth observation channel and must not learn from aborted sends.
 #pragma once
 
 #include "common/rng.h"
 #include "common/units.h"
+#include "fault/fault_plan.h"
 #include "net/bandwidth_trace.h"
 #include "sim/simulator.h"
 
 namespace lp::net {
+
+enum class TransferStatus : std::uint8_t {
+  kOk,        ///< delivered
+  kTimedOut,  ///< gave up at the deadline (blackout or too slow)
+  kLost,      ///< dropped mid-flight by injected packet loss
+};
+
+struct TransferOutcome {
+  TransferStatus status = TransferStatus::kOk;
+  DurationNs elapsed = 0;  ///< wall time spent on the attempt
+};
 
 class Link {
  public:
@@ -19,10 +50,18 @@ class Link {
        DurationNs rtt = milliseconds(2), std::uint64_t seed = 11);
 
   /// Uploads `bytes`; completes after the (jittered) transfer time. If
-  /// `measured` is non-null it receives the actual duration — this is how
-  /// the runtime profiler passively observes bandwidth.
-  sim::Task upload(std::int64_t bytes, DurationNs* measured = nullptr);
-  sim::Task download(std::int64_t bytes, DurationNs* measured = nullptr);
+  /// `measured` is non-null it receives the actual duration on success —
+  /// this is how the runtime profiler passively observes bandwidth.
+  /// `deadline` (absolute; 0 = none) bounds the attempt; `outcome` (may be
+  /// null) receives the typed result.
+  sim::Task upload(std::int64_t bytes, DurationNs* measured = nullptr,
+                   TimeNs deadline = 0, TransferOutcome* outcome = nullptr);
+  sim::Task download(std::int64_t bytes, DurationNs* measured = nullptr,
+                     TimeNs deadline = 0, TransferOutcome* outcome = nullptr);
+
+  /// Wires packet-loss injection (FaultPlan::packet_loss windows). The plan
+  /// must outlive the link; null detaches.
+  void attach_faults(const fault::FaultPlan* plan) { faults_ = plan; }
 
   /// True bandwidths right now (tests / oracle baselines only; the system
   /// under test must use the estimator instead).
@@ -33,12 +72,14 @@ class Link {
 
  private:
   sim::Task transfer(std::int64_t bytes, const BandwidthTrace& trace,
-                     DurationNs* measured);
+                     DurationNs* measured, TimeNs deadline,
+                     TransferOutcome* outcome);
 
   sim::Simulator* sim_;
   BandwidthTrace up_;
   BandwidthTrace down_;
   DurationNs rtt_;
+  const fault::FaultPlan* faults_ = nullptr;
   Rng rng_;
 };
 

@@ -61,42 +61,80 @@ TenantSummary FleetResult::summarize(int tenant) const {
   std::vector<double> all_ms, admitted_ms;
   std::map<std::size_t, int> p_counts;
   double k_total = 0.0, wait_total = 0.0;
-  std::size_t slo_misses = 0;
+  std::size_t slo_misses = 0, recovered_slo_misses = 0;
   for (const ClientTrace& trace : clients) {
     if (tenant >= 0 && trace.tenant != static_cast<std::size_t>(tenant))
       continue;
     const double slo = tenant_slo_sec[trace.tenant];
     for (const core::InferenceRecord& rec : trace.records) {
       if (rec.start < warmup) continue;
-      all_ms.push_back(rec.total_sec * 1e3);
+      ++s.requests;
       ++p_counts[rec.p];
       k_total += rec.k_used;
+      s.retries += static_cast<std::size_t>(rec.retries);
+      s.faults += static_cast<std::size_t>(rec.faults);
+      if (rec.breaker_forced_local) ++s.breaker_forced_local;
+      switch (rec.last_failure) {
+        case core::FailureKind::kTimeout:
+          ++s.timeouts;
+          break;
+        case core::FailureKind::kLinkDrop:
+          ++s.link_drops;
+          break;
+        case core::FailureKind::kServerDown:
+          ++s.server_downs;
+          break;
+        case core::FailureKind::kNone:
+        case core::FailureKind::kShed:
+          break;
+      }
       switch (rec.outcome) {
         case core::InferenceOutcome::kAdmitted:
           ++s.admitted;
+          all_ms.push_back(rec.total_sec * 1e3);
           admitted_ms.push_back(rec.total_sec * 1e3);
           wait_total += rec.queue_wait_sec;
           break;
         case core::InferenceOutcome::kDegradedLocal:
           ++s.degraded;
+          all_ms.push_back(rec.total_sec * 1e3);
           break;
         case core::InferenceOutcome::kLocalDecision:
           ++s.local;
+          all_ms.push_back(rec.total_sec * 1e3);
           break;
+        case core::InferenceOutcome::kRecoveredLocal:
+          ++s.recovered;
+          all_ms.push_back(rec.total_sec * 1e3);
+          if (slo > 0.0 && rec.total_sec > slo) ++recovered_slo_misses;
+          break;
+        case core::InferenceOutcome::kFailed:
+          // A dropped request has no completion latency; it still counts
+          // against requests and (unconditionally) against the SLO.
+          ++s.failed;
+          if (slo > 0.0) {
+            ++slo_misses;
+            continue;
+          }
+          continue;
       }
       if (slo > 0.0 && rec.total_sec > slo) ++slo_misses;
     }
   }
-  if (all_ms.empty()) return s;
-  s.requests = all_ms.size();
-  s.mean_ms = mean_of(all_ms);
-  s.p90_ms = percentile(all_ms, 90);
+  if (s.requests == 0) return s;
+  if (!all_ms.empty()) {
+    s.mean_ms = mean_of(all_ms);
+    s.p90_ms = percentile(all_ms, 90);
+  }
   if (!admitted_ms.empty()) {
     s.admitted_mean_ms = mean_of(admitted_ms);
     s.admitted_p90_ms = percentile(admitted_ms, 90);
     s.mean_queue_wait_ms =
         wait_total / static_cast<double>(s.admitted) * 1e3;
   }
+  if (s.recovered > 0)
+    s.recovered_slo_miss_rate = static_cast<double>(recovered_slo_misses) /
+                                static_cast<double>(s.recovered);
   s.mean_k = k_total / static_cast<double>(s.requests);
   int best = -1;
   for (const auto& [p, count] : p_counts)
@@ -138,6 +176,8 @@ FleetResult run_fleet(const FleetConfig& config,
   EdgeServerFrontend frontend(sim, scheduler, gpu, config.frontend,
                               config.runtime, config.seed ^ 0xf00d);
   frontend.start_gpu_watcher(config.watcher_period);
+  const bool faulty = !config.faults.empty();
+  if (faulty) frontend.attach_fault_plan(&config.faults);
 
   struct TenantState {
     graph::Graph model;
@@ -176,8 +216,16 @@ FleetResult run_fleet(const FleetConfig& config,
       ++index;
       const std::uint64_t seed =
           config.seed ^ (0x9e3779b97f4a7c15ull * (index + 1));
+      // Link faults splice into every tenant trace: a blackout window
+      // hits the whole radio environment, not one client.
       links.push_back(std::make_unique<net::Link>(
-          sim, spec.upload, spec.download, spec.rtt, seed ^ 0x71));
+          sim,
+          faulty ? net::apply_link_faults(spec.upload, config.faults)
+                 : spec.upload,
+          faulty ? net::apply_link_faults(spec.download, config.faults)
+                 : spec.download,
+          spec.rtt, seed ^ 0x71));
+      if (faulty) links.back()->attach_faults(&config.faults);
       const std::uint64_t session = frontend.open_session(profile);
       clients.push_back(std::make_unique<core::OffloadClient>(
           sim, cpu, profile, *links.back(), frontend, spec.policy, runtime,
@@ -200,6 +248,9 @@ FleetResult run_fleet(const FleetConfig& config,
   result.dispatches = frontend.dispatches();
   result.batched_dispatches = frontend.batched_dispatches();
   result.batched_jobs = frontend.batched_jobs();
+  result.refused = frontend.refused();
+  result.crashes = frontend.crashes();
+  result.failed_jobs = frontend.failed_jobs();
   return result;
 }
 

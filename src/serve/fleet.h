@@ -41,6 +41,11 @@ struct FleetConfig {
   std::vector<TenantSpec> tenants;
   FrontendParams frontend;
   core::RuntimeParams runtime;
+  /// Fault schedule for the whole testbed: link faults apply to every
+  /// tenant link, server crashes and straggle windows to the frontend.
+  /// Empty (default) = the legacy no-failure universe, bit-identical to
+  /// runs that predate fault injection.
+  fault::FaultPlan faults;
   DurationNs duration = seconds(90);
   DurationNs warmup = seconds(30);  ///< excluded from summaries
   DurationNs profiler_period = seconds(5);
@@ -58,9 +63,17 @@ struct ClientTrace {
 struct TenantSummary {
   std::string name;
   std::size_t requests = 0;
-  std::size_t admitted = 0;  ///< outcome kAdmitted
-  std::size_t degraded = 0;  ///< shed by the frontend, finished locally
-  std::size_t local = 0;     ///< the policy chose p = n
+  std::size_t admitted = 0;   ///< outcome kAdmitted
+  std::size_t degraded = 0;   ///< shed by the frontend, finished locally
+  std::size_t local = 0;      ///< the policy chose p = n
+  std::size_t recovered = 0;  ///< failed over to local after faults
+  std::size_t failed = 0;     ///< dropped (fail-stop, no local fallback)
+  std::size_t retries = 0;    ///< total retry attempts across requests
+  std::size_t faults = 0;     ///< total fault events (timeout/drop/down)
+  std::size_t breaker_forced_local = 0;  ///< open breaker pinned p = n
+  std::size_t timeouts = 0;       ///< requests whose last failure: timeout
+  std::size_t link_drops = 0;     ///< ... injected packet loss
+  std::size_t server_downs = 0;   ///< ... crashed server
   double mean_ms = 0.0;      ///< over every completed request
   double p90_ms = 0.0;
   double admitted_mean_ms = 0.0;  ///< over admitted requests only
@@ -70,6 +83,9 @@ struct TenantSummary {
   std::size_t modal_p = 0;
   double shed_rate = 0.0;      ///< degraded / requests
   double slo_miss_rate = 0.0;  ///< total_sec > slo_sec (0 when no SLO)
+  /// SLO misses among recovered-locally requests only: the price of riding
+  /// out an outage on the device instead of dropping the request.
+  double recovered_slo_miss_rate = 0.0;
   double requests_per_sec = 0.0;
 
   std::vector<std::string> table_row(int latency_digits = 1) const;
@@ -90,6 +106,9 @@ struct FleetResult {
   std::uint64_t dispatches = 0;
   std::uint64_t batched_dispatches = 0;
   std::uint64_t batched_jobs = 0;
+  std::uint64_t refused = 0;      ///< submissions refused while crashed
+  std::uint64_t crashes = 0;      ///< fail-stop crashes taken
+  std::uint64_t failed_jobs = 0;  ///< jobs failed server-down by crashes
 
   /// Steady-state records of one tenant, or of every tenant (-1).
   std::vector<const core::InferenceRecord*> steady(int tenant = -1) const;

@@ -74,6 +74,11 @@ core::SubmitStatus EdgeServerFrontend::submit(core::SuffixRequest request) {
                "nothing to execute on the server at p = n");
   ++submitted_;
   ++session.submitted;
+  if (down_) {
+    // Connection refused: a crashed server cannot even shed politely.
+    ++refused_;
+    return core::SubmitStatus::kDown;
+  }
   if (request.bandwidth_bps > 0.0)
     session.bandwidth.add_sample(request.bandwidth_bps);
 
@@ -104,6 +109,8 @@ core::SubmitStatus EdgeServerFrontend::submit(core::SuffixRequest request) {
   job.exec_seconds = request.exec_seconds;
   job.overhead_seconds = request.overhead_seconds;
   job.queue_wait_seconds = request.queue_wait_seconds;
+  job.status = request.status;
+  job.keepalive = request.keepalive;
   LP_CHECK(queue_.push(job));
   ++admitted_;
   ++session.admitted;
@@ -121,6 +128,8 @@ sim::Task EdgeServerFrontend::service() {
     // dispatch is formed (a latency-for-throughput trade).
     if (params_.max_batch > 1 && params_.batch_window > 0)
       co_await sim_->delay(params_.batch_window);
+    // A crash during the window drains the queue out from under us.
+    if (queue_.empty()) continue;
 
     std::vector<QueuedJob> batch;
     batch.push_back(queue_.pop_next());
@@ -137,6 +146,12 @@ sim::Task EdgeServerFrontend::execute_batch(std::vector<QueuedJob> batch) {
   const std::size_t n = profile.n();
   const std::size_t p = batch.front().p;
   const TimeNs dispatch_time = sim_->now();
+  // Crash visibility: crash() fails this batch through inflight_ and bumps
+  // epoch_; after every suspension we re-check the epoch and abandon the
+  // dispatch — the jobs were already answered with kServerDown, and the
+  // (wiped, possibly re-warming) session state must not be touched.
+  const std::uint64_t epoch = epoch_;
+  inflight_ = &batch;
 
   for (const QueuedJob& job : batch)
     if (job.queue_wait_seconds != nullptr)
@@ -161,6 +176,7 @@ sim::Task EdgeServerFrontend::execute_batch(std::vector<QueuedJob> batch) {
                runtime_.server_partition_per_node_sec *
                    static_cast<double>(nodes);
     co_await sim_->delay(seconds(overhead));
+    if (epoch_ != epoch) co_return;
     for (const QueuedJob& job : batch) {
       Session& session = sessions_[job.session];
       if (session.cache.find(p) == nullptr)
@@ -170,7 +186,11 @@ sim::Task EdgeServerFrontend::execute_batch(std::vector<QueuedJob> batch) {
   for (const QueuedJob& job : batch)
     if (job.overhead_seconds != nullptr) *job.overhead_seconds = overhead;
 
-  // One GPU dispatch for the whole batch.
+  // One GPU dispatch for the whole batch. An active straggle window
+  // stretches every kernel (thermal throttling / a noisy neighbour on the
+  // box, not GPU queue contention — so it is invisible to pending_kernels
+  // and to the idle watcher, exactly the slow-server case timeouts exist
+  // for).
   auto kernels =
       batch.size() > 1
           ? gpu_->batched_segment_kernels(g, p + 1, n, batch.size())
@@ -178,13 +198,16 @@ sim::Task EdgeServerFrontend::execute_batch(std::vector<QueuedJob> batch) {
                  ? gpu_->fused_segment_kernels(g, p + 1, n)
                  : gpu_->segment_kernels(g, p + 1, n));
   const double jf = gpu_->params().jitter_frac;
+  const double straggle =
+      faults_ != nullptr ? faults_->straggle_factor(sim_->now()) : 1.0;
   for (auto& k : kernels)
     k = std::max<DurationNs>(
-        1, static_cast<DurationNs>(static_cast<double>(k) *
+        1, static_cast<DurationNs>(static_cast<double>(k) * straggle *
                                    jitter_scale(rng_, jf)));
   const bool gpu_contended = scheduler_->pending_kernels() > 4;
   const TimeNs begin = sim_->now();
   co_await scheduler_->run_batch(ctx_, std::move(kernels), batch.size());
+  if (epoch_ != epoch) co_return;
   const double exec = to_seconds(sim_->now() - begin);
   const TimeNs finished = sim_->now();
 
@@ -209,9 +232,70 @@ sim::Task EdgeServerFrontend::execute_batch(std::vector<QueuedJob> batch) {
         dispatch_time - job.enqueued > params_.batch_window;
     if (predicted > 0.0)
       sessions_[job.session].k.record(service, predicted, contended);
-    job.done->trigger();
+    // The client's deadline watcher may have resolved this attempt
+    // already; its trigger wins and the late result is dropped.
+    if (!job.done->triggered()) {
+      if (job.status != nullptr) *job.status = core::SuffixStatus::kServed;
+      job.done->trigger();
+    }
   }
   in_flight_sec_ = 0.0;
+  inflight_ = nullptr;
+}
+
+void EdgeServerFrontend::attach_fault_plan(const fault::FaultPlan* plan) {
+  faults_ = plan;
+  if (plan != nullptr && !plan->server_crashes().empty())
+    sim_->spawn(crash_driver());
+}
+
+sim::Task EdgeServerFrontend::crash_driver() {
+  // server_crashes() is ordered and non-overlapping (FaultPlan enforces
+  // it), so a plain walk with absolute-time delays is exact.
+  for (const fault::FaultWindow& w : faults_->server_crashes()) {
+    if (w.begin > sim_->now()) co_await sim_->delay(w.begin - sim_->now());
+    crash();
+    if (w.end > sim_->now()) co_await sim_->delay(w.end - sim_->now());
+    restart();
+  }
+}
+
+void EdgeServerFrontend::crash() {
+  if (down_) return;
+  down_ = true;
+  ++crashes_;
+  ++epoch_;  // orphans any execute_batch parked on a suspension point
+
+  // Fail-stop: every queued and in-flight job terminates with server-down
+  // right now — a crash never turns into a client-side hang.
+  std::vector<QueuedJob> casualties = queue_.drain();
+  if (inflight_ != nullptr) {
+    for (const QueuedJob& job : *inflight_) casualties.push_back(job);
+    inflight_ = nullptr;
+  }
+  for (const QueuedJob& job : casualties) {
+    ++failed_jobs_;
+    if (job.status != nullptr) *job.status = core::SuffixStatus::kServerDown;
+    if (!job.done->triggered()) job.done->trigger();
+  }
+
+  // Volatile state dies with the process: partition caches, k windows,
+  // bandwidth windows, and the in-flight estimate. Sessions survive (they
+  // are the registration, not the state) and re-warm through the ordinary
+  // profiler handshake after restart().
+  for (Session& session : sessions_) {
+    session.k = core::LoadFactorTracker(runtime_.k_window);
+    session.cache = partition::PartitionCache(runtime_.cache_capacity);
+    session.bandwidth = net::BandwidthEstimator(runtime_.bandwidth_window);
+  }
+  in_flight_sec_ = 0.0;
+}
+
+void EdgeServerFrontend::restart() {
+  if (!down_) return;
+  down_ = false;
+  // Nudge the dispatcher in case anything races in right at restart.
+  work_arrived_.trigger();
 }
 
 void EdgeServerFrontend::start_gpu_watcher(DurationNs period) {

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "core/offload_runtime.h"
+#include "fault/fault_plan.h"
 #include "serve/queue.h"
 
 namespace lp::serve {
@@ -61,9 +62,28 @@ class EdgeServerFrontend : public core::SuffixService {
   /// outlive the frontend.
   std::uint64_t open_session(const core::GraphCostProfile& profile);
 
-  /// Admission decision, synchronously: shed when the queue is full or the
-  /// predicted queue delay exceeds the budget; otherwise enqueue.
+  /// Admission decision, synchronously: refuse (kDown) while crashed; shed
+  /// when the queue is full or the predicted queue delay exceeds the
+  /// budget; otherwise enqueue.
   core::SubmitStatus submit(core::SuffixRequest request) override;
+
+  /// Wires the fault plan: server_crash windows drive crash()/restart(),
+  /// straggle windows inflate kernel times. The plan must outlive the
+  /// frontend. (Link faults are the Link's business, not the frontend's.)
+  void attach_fault_plan(const fault::FaultPlan* plan);
+
+  /// Fail-stop crash: refuses new submissions, fails every queued and
+  /// in-flight job with SuffixStatus::kServerDown (no request ever hangs),
+  /// and wipes all volatile per-session state — partition caches, k
+  /// windows, bandwidth windows. Sessions themselves survive (they are the
+  /// registration, not the state); clients re-warm them through the
+  /// ordinary profiler handshake after restart().
+  void crash();
+
+  /// Brings a crashed server back with cold caches and idle k.
+  void restart();
+
+  bool alive() const override { return !down_; }
 
   /// The session's published influential factor (>= 1).
   double session_k(std::uint64_t session) const override;
@@ -88,6 +108,12 @@ class EdgeServerFrontend : public core::SuffixService {
   std::uint64_t batched_dispatches() const { return batched_dispatches_; }
   /// Jobs served through coalesced dispatches.
   std::uint64_t batched_jobs() const { return batched_jobs_; }
+  /// Fail-stop crashes taken so far.
+  std::uint64_t crashes() const { return crashes_; }
+  /// Queued or in-flight jobs failed with server-down by crashes.
+  std::uint64_t failed_jobs() const { return failed_jobs_; }
+  /// Submissions refused (kDown) while the server was crashed.
+  std::uint64_t refused() const { return refused_; }
 
   const partition::PartitionCache& session_cache(std::uint64_t session) const;
   double session_bandwidth_bps(std::uint64_t session) const;
@@ -106,6 +132,7 @@ class EdgeServerFrontend : public core::SuffixService {
   sim::Task service();
   sim::Task execute_batch(std::vector<QueuedJob> batch);
   sim::Task gpu_watcher(DurationNs period);
+  sim::Task crash_driver();
 
   sim::Simulator* sim_;
   hw::GpuScheduler* scheduler_;
@@ -128,6 +155,16 @@ class EdgeServerFrontend : public core::SuffixService {
   std::uint64_t batched_jobs_ = 0;
   DurationNs watcher_busy_mark_ = 0;
   TimeNs watcher_time_mark_ = 0;
+  // Fault state. `epoch_` bumps on every crash; execute_batch re-checks it
+  // after every suspension and abandons work from a dead epoch. `inflight_`
+  // lets crash() fail the batch currently on the GPU.
+  const fault::FaultPlan* faults_ = nullptr;
+  bool down_ = false;
+  std::uint64_t epoch_ = 0;
+  std::vector<QueuedJob>* inflight_ = nullptr;
+  std::uint64_t crashes_ = 0;
+  std::uint64_t failed_jobs_ = 0;
+  std::uint64_t refused_ = 0;
 };
 
 }  // namespace lp::serve

@@ -78,4 +78,11 @@ void RequestQueue::take_matching(const core::GraphCostProfile* profile,
   }
 }
 
+std::vector<QueuedJob> RequestQueue::drain() {
+  std::vector<QueuedJob> out = std::move(jobs_);
+  jobs_.clear();
+  backlog_sec_ = 0.0;
+  return out;
+}
+
 }  // namespace lp::serve

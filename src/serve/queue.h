@@ -11,9 +11,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "core/offload_runtime.h"
 #include "core/predictor.h"
 #include "common/units.h"
 
@@ -41,6 +43,11 @@ struct QueuedJob {
   double* exec_seconds = nullptr;
   double* overhead_seconds = nullptr;
   double* queue_wait_seconds = nullptr;
+  core::SuffixStatus* status = nullptr;  ///< typed fate (served/server-down)
+  /// Keeps the client's reply block alive even if the client abandons the
+  /// attempt (timeout): a crash or late completion then still writes into
+  /// live memory.
+  std::shared_ptr<void> keepalive;
 };
 
 class RequestQueue {
@@ -65,6 +72,10 @@ class RequestQueue {
   /// arrival order (suffix batching).
   void take_matching(const core::GraphCostProfile* profile, std::size_t p,
                      std::size_t limit, std::vector<QueuedJob>* out);
+
+  /// Removes and returns every queued job in arrival order (crash path:
+  /// the caller fails them all). Leaves the queue empty.
+  std::vector<QueuedJob> drain();
 
   /// Sum of the predicted execution times of everything queued — the
   /// admission controller's estimate of the backlog ahead of a new arrival.

@@ -70,9 +70,22 @@ TEST(BandwidthTrace, GilbertElliottDwellMeansRoughlyRespected) {
 
 TEST(BandwidthTrace, RejectsBadInput) {
   EXPECT_THROW(BandwidthTrace({}), ContractError);
-  EXPECT_THROW(BandwidthTrace({{0, 0.0}}), ContractError);
+  EXPECT_THROW(BandwidthTrace({{0, -1.0}}), ContractError);
   EXPECT_THROW(BandwidthTrace({{seconds(5), mbps(1)}, {0, mbps(2)}}),
                ContractError);
+}
+
+// Zero bandwidth is legal: it is the blackout encoding (link.h failure
+// contract), not a divide-by-zero hazard.
+TEST(BandwidthTrace, ZeroBandwidthIsBlackoutNotError) {
+  const BandwidthTrace t(
+      {{0, mbps(8)}, {seconds(10), 0.0}, {seconds(20), mbps(4)}});
+  EXPECT_DOUBLE_EQ(t.bandwidth_at(seconds(15)), 0.0);
+  EXPECT_EQ(t.next_positive_at(seconds(5)), seconds(5));
+  EXPECT_EQ(t.next_positive_at(seconds(15)), seconds(20));
+  // A trace ending dark never recovers.
+  const BandwidthTrace dead({{0, mbps(8)}, {seconds(10), 0.0}});
+  EXPECT_EQ(dead.next_positive_at(seconds(15)), -1);
 }
 
 sim::Task do_upload(net::Link& link, std::int64_t bytes, DurationNs& out) {

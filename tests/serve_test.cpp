@@ -122,6 +122,7 @@ struct PendingRequest {
   double overhead = 0.0;
   double queue_wait = 0.0;
   core::SubmitStatus status = core::SubmitStatus::kRejected;
+  core::SuffixStatus suffix_status = core::SuffixStatus::kServed;
 
   explicit PendingRequest(sim::Simulator& sim) : done(sim) {}
 
@@ -133,6 +134,7 @@ struct PendingRequest {
     r.exec_seconds = &exec;
     r.overhead_seconds = &overhead;
     r.queue_wait_seconds = &queue_wait;
+    r.status = &suffix_status;
     r.session = session;
     r.deadline = deadline;
     return r;
@@ -231,6 +233,88 @@ TEST(EdgeServerFrontend, RejectsMalformedRequests) {
   no_done.p = 5;
   no_done.session = s;
   EXPECT_THROW(h.frontend.submit(no_done), ContractError);
+}
+
+// ---------------------------------------------------- crash / restart --
+
+TEST(EdgeServerFrontend, CrashFailsInFlightAndQueuedWithServerDown) {
+  FrontendHarness h(FrontendParams{});
+  const auto s = h.frontend.open_session(h.profile);
+
+  // r1 dispatches immediately (and is mid-preparation when the crash
+  // lands); r2 is still queued behind it.
+  PendingRequest r1(h.sim), r2(h.sim);
+  ASSERT_EQ(h.frontend.submit(r1.request(s, 5)),
+            core::SubmitStatus::kAccepted);
+  ASSERT_EQ(h.frontend.submit(r2.request(s, 5)),
+            core::SubmitStatus::kAccepted);
+  h.sim.call_after(milliseconds(1), [&] { h.frontend.crash(); });
+  h.sim.run_until(seconds(30));
+
+  // Both terminate with a typed server-down result — never a hang.
+  EXPECT_TRUE(r1.done.triggered());
+  EXPECT_TRUE(r2.done.triggered());
+  EXPECT_EQ(r1.suffix_status, core::SuffixStatus::kServerDown);
+  EXPECT_EQ(r2.suffix_status, core::SuffixStatus::kServerDown);
+  EXPECT_EQ(h.frontend.failed_jobs(), 2u);
+  EXPECT_EQ(h.frontend.served(), 0u);  // the abandoned batch never counts
+  EXPECT_EQ(h.frontend.queue_depth(), 0u);
+  EXPECT_FALSE(h.frontend.alive());
+  EXPECT_EQ(h.frontend.crashes(), 1u);
+}
+
+TEST(EdgeServerFrontend, CrashedServerRefusesSubmissionsUntilRestart) {
+  FrontendHarness h(FrontendParams{});
+  const auto s = h.frontend.open_session(h.profile);
+  h.frontend.crash();
+  PendingRequest r(h.sim);
+  EXPECT_EQ(h.frontend.submit(r.request(s, 5)), core::SubmitStatus::kDown);
+  EXPECT_EQ(h.frontend.refused(), 1u);
+  EXPECT_FALSE(r.done.triggered());  // nothing was enqueued
+
+  h.frontend.restart();
+  EXPECT_TRUE(h.frontend.alive());
+  PendingRequest r2(h.sim);
+  EXPECT_EQ(h.frontend.submit(r2.request(s, 5)),
+            core::SubmitStatus::kAccepted);
+  h.sim.run_until(seconds(30));
+  EXPECT_TRUE(r2.done.triggered());
+  EXPECT_EQ(r2.suffix_status, core::SuffixStatus::kServed);
+  EXPECT_EQ(h.frontend.served(), 1u);
+}
+
+TEST(EdgeServerFrontend, CrashWipesPartitionCacheAndKWindow) {
+  FrontendParams params;
+  FrontendHarness h(params);
+  const auto s = h.frontend.open_session(h.profile);
+
+  // Warm the session: queueing drives k above idle and the partition
+  // cache holds the plan for p = 5.
+  std::vector<std::unique_ptr<PendingRequest>> requests;
+  for (int i = 0; i < 12; ++i) {
+    requests.push_back(std::make_unique<PendingRequest>(h.sim));
+    ASSERT_EQ(h.frontend.submit(requests.back()->request(s, 5)),
+              core::SubmitStatus::kAccepted);
+  }
+  h.sim.run_until(seconds(60));
+  ASSERT_GT(h.frontend.session_k(s), 1.5);
+  ASSERT_EQ(h.frontend.session_cache(s).size(), 1u);
+
+  // The crash wipes both: cold cache, idle k, empty queue.
+  h.frontend.crash();
+  EXPECT_EQ(h.frontend.session_cache(s).size(), 0u);
+  EXPECT_DOUBLE_EQ(h.frontend.session_k(s), 1.0);
+  EXPECT_EQ(h.frontend.queue_depth(), 0u);
+
+  // After restart the first request re-pays the partition overhead.
+  h.frontend.restart();
+  PendingRequest cold(h.sim);
+  ASSERT_EQ(h.frontend.submit(cold.request(s, 5)),
+            core::SubmitStatus::kAccepted);
+  h.sim.run_until(seconds(120));
+  EXPECT_TRUE(cold.done.triggered());
+  EXPECT_GT(cold.overhead, 0.0);
+  EXPECT_EQ(h.frontend.session_cache(s).size(), 1u);
 }
 
 // ------------------------------------------------------------- fleet --
@@ -372,6 +456,101 @@ TEST(FleetDriver, DegradeBacksOffLoadPartClientsTowardLocal) {
   }
   const auto model = models::make_model("alexnet");
   EXPECT_EQ(n, model.n());
+}
+
+FleetConfig crashy_fleet(std::uint64_t seed, bool local_fallback) {
+  FleetConfig config;
+  config.duration = seconds(20);
+  config.warmup = seconds(2);
+  config.seed = seed;
+  config.faults.server_crash(seconds(6), seconds(10));
+  config.runtime.fault.rpc_timeout_sec = 0.5;
+  config.runtime.fault.max_retries = 1;
+  config.runtime.fault.local_fallback = local_fallback;
+  config.runtime.fault.breaker_failures = 3;
+  config.runtime.fault.breaker_cooldown_sec = 1.0;
+  TenantSpec spec;
+  spec.model = "alexnet";
+  spec.clients = 3;
+  spec.policy = core::Policy::kLoadPart;
+  spec.upload = net::BandwidthTrace::constant(mbps(16));
+  spec.download = net::BandwidthTrace::constant(mbps(16));
+  spec.request_gap = milliseconds(10);
+  config.tenants.push_back(spec);
+  return config;
+}
+
+TEST(FleetDriver, ServerCrashRecoversLocallyWithoutLosingRequests) {
+  const auto result = run_fleet(crashy_fleet(21, true), bundle());
+  const auto summary = result.summarize();
+  EXPECT_EQ(result.crashes, 1u);
+  EXPECT_GT(result.refused, 0u);  // submissions hit the crashed server
+  ASSERT_GT(summary.requests, 0u);
+  // With local fallback nothing is lost: every request that met a fault
+  // terminated with a typed recovery, and the breaker pinned followers to
+  // local while the server was gone.
+  EXPECT_EQ(summary.failed, 0u);
+  EXPECT_GT(summary.recovered, 0u);
+  EXPECT_GT(summary.server_downs, 0u);
+  EXPECT_GT(summary.breaker_forced_local, 0u);
+  // Service resumes after restart: requests are admitted again late in
+  // the run (the re-warm handshake works against wiped sessions).
+  bool admitted_after_restart = false;
+  for (const auto* rec : result.steady())
+    if (rec->start > seconds(12) &&
+        rec->outcome == core::InferenceOutcome::kAdmitted)
+      admitted_after_restart = true;
+  EXPECT_TRUE(admitted_after_restart);
+}
+
+TEST(FleetDriver, FailStopLosesRequestsAcrossTheCrash) {
+  const auto result = run_fleet(crashy_fleet(21, false), bundle());
+  const auto summary = result.summarize();
+  EXPECT_GT(summary.failed, 0u);
+  EXPECT_EQ(summary.recovered, 0u);
+  // Lost requests still terminated (typed, no hang): they carry the
+  // server-down taxonomy rather than a latency.
+  for (const auto* rec : result.steady())
+    if (rec->outcome == core::InferenceOutcome::kFailed)
+      EXPECT_NE(rec->last_failure, core::FailureKind::kNone);
+}
+
+TEST(FleetDriver, FaultRunsAreDeterministic) {
+  const auto a = run_fleet(crashy_fleet(33, true), bundle());
+  const auto b = run_fleet(crashy_fleet(33, true), bundle());
+  ASSERT_EQ(a.clients.size(), b.clients.size());
+  for (std::size_t i = 0; i < a.clients.size(); ++i) {
+    const auto& ra = a.clients[i].records;
+    const auto& rb = b.clients[i].records;
+    ASSERT_EQ(ra.size(), rb.size());
+    for (std::size_t j = 0; j < ra.size(); ++j) {
+      EXPECT_EQ(ra[j].start, rb[j].start);
+      EXPECT_DOUBLE_EQ(ra[j].total_sec, rb[j].total_sec);
+      EXPECT_EQ(ra[j].outcome, rb[j].outcome);
+      EXPECT_EQ(ra[j].last_failure, rb[j].last_failure);
+      EXPECT_EQ(ra[j].retries, rb[j].retries);
+    }
+  }
+  EXPECT_EQ(a.refused, b.refused);
+  EXPECT_EQ(a.failed_jobs, b.failed_jobs);
+}
+
+TEST(FleetDriver, LegacyConfigsAreUnaffectedByTheFaultLayer) {
+  // An empty FaultPlan plus default FaultToleranceParams must reproduce
+  // the pre-fault-layer universe exactly: same records, same counters.
+  const auto a = run_fleet(overload_fleet(11), bundle());
+  FleetConfig with_defaults = overload_fleet(11);
+  with_defaults.runtime.fault = {};  // explicit defaults
+  const auto b = run_fleet(with_defaults, bundle());
+  ASSERT_EQ(a.clients.size(), b.clients.size());
+  for (std::size_t i = 0; i < a.clients.size(); ++i)
+    ASSERT_EQ(a.clients[i].records.size(), b.clients[i].records.size());
+  EXPECT_EQ(a.shed, b.shed);
+  EXPECT_EQ(a.submitted, b.submitted);
+  const auto sa = a.summarize(), sb = b.summarize();
+  EXPECT_DOUBLE_EQ(sa.mean_ms, sb.mean_ms);
+  EXPECT_EQ(sa.failed, 0u);
+  EXPECT_EQ(sa.recovered, 0u);
 }
 
 }  // namespace
