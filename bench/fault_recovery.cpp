@@ -32,6 +32,7 @@
 #include "common/stats.h"
 #include "common/table.h"
 #include "hw/cpu_model.h"
+#include "obs/report.h"
 #include "serve/fleet.h"
 
 namespace {
@@ -83,12 +84,12 @@ ModeResult run_mode(const std::string& name,
 
   ModeResult m;
   m.name = name;
-  m.requests = summary.requests;
-  m.admitted = summary.admitted;
-  m.recovered = summary.recovered;
-  m.failed = summary.failed;
-  m.retries = summary.retries;
-  m.breaker_forced = summary.breaker_forced_local;
+  m.requests = summary.requests();
+  m.admitted = summary.admitted();
+  m.recovered = summary.recovered();
+  m.failed = summary.failed();
+  m.retries = summary.retries();
+  m.breaker_forced = summary.breaker_forced_local();
   m.crashes = result.crashes;
   m.refused = result.refused;
   m.mean_ms = summary.mean_ms;
@@ -240,29 +241,25 @@ int main(int argc, char** argv) {
     ok = ok && c.ok;
   }
 
-  std::FILE* f = std::fopen(out_path.c_str(), "w");
-  if (f != nullptr) {
-    std::fprintf(f, "{\n  \"local_ms\": %.3f,\n  \"modes\": [\n", local_ms);
-    for (std::size_t i = 0; i < modes.size(); ++i) {
-      const ModeResult& m = modes[i];
-      std::fprintf(
-          f,
-          "    {\"name\": \"%s\", \"requests\": %zu, \"lost\": %zu, "
-          "\"recovered\": %zu, \"retries\": %zu, \"breaker_local\": %zu, "
-          "\"crashes\": %llu, \"refused\": %llu, \"mean_ms\": %.3f, "
-          "\"p99_ms\": %.3f, \"crash_requests\": %zu, \"crash_lost\": %zu, "
-          "\"crash_p50_ms\": %.3f, \"crash_p99_ms\": %.3f}%s\n",
-          m.name.c_str(), m.requests, m.failed, m.recovered, m.retries,
-          m.breaker_forced, static_cast<unsigned long long>(m.crashes),
-          static_cast<unsigned long long>(m.refused), m.mean_ms, m.p99_ms,
-          m.crash_requests, m.crash_failed, m.crash_median_ms, m.crash_p99_ms,
-          i + 1 < modes.size() ? "," : "");
-    }
-    std::fprintf(f, "  ],\n  \"deterministic\": %s,\n  \"claims_ok\": %s\n}\n",
-                 same(modes[2], again) ? "true" : "false",
-                 ok ? "true" : "false");
-    std::fclose(f);
-  }
+  obs::Report report("fault_recovery");
+  report.set("local_ms", local_ms);
+  report.set("deterministic", same(modes[2], again));
+  report.set("claims_ok", ok);
+  auto& mode_section = report.section(
+      "modes", {"name", "requests", "lost", "recovered", "retries",
+                "breaker_local", "crashes", "refused", "mean_ms", "p99_ms",
+                "crash_requests", "crash_lost", "crash_p50_ms",
+                "crash_p99_ms"});
+  for (const ModeResult& m : modes)
+    mode_section.add_row(
+        {m.name, m.requests, m.failed, m.recovered, m.retries,
+         m.breaker_forced, static_cast<std::size_t>(m.crashes),
+         static_cast<std::size_t>(m.refused), m.mean_ms, m.p99_ms,
+         m.crash_requests, m.crash_failed, m.crash_median_ms, m.crash_p99_ms});
+  auto& claim_section = report.section("claims", {"claim", "ok"});
+  for (const Claim& c : claims) claim_section.add_row({c.text, c.ok});
+  report.write_json(out_path);
+  report.maybe_write_csv_env();
 
   if (!ok) {
     std::printf("\nclaim check FAILED\n");

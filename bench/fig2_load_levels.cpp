@@ -4,7 +4,7 @@
 #include <cstdio>
 
 #include "common/table.h"
-#include "csv_dump.h"
+#include "series_report.h"
 #include "core/system.h"
 #include "models/zoo.h"
 

@@ -7,7 +7,7 @@
 #include <map>
 
 #include "common/table.h"
-#include "csv_dump.h"
+#include "series_report.h"
 #include "core/system.h"
 #include "models/zoo.h"
 

@@ -11,22 +11,28 @@
 #include <vector>
 
 #include "common/table.h"
+#include "obs/report.h"
 #include "serve/fleet.h"
 
 namespace {
 
 using namespace lp;
 
-void print_config_row(Table& table, const std::string& name,
+void print_config_row(Table& table, obs::Report::Section& section,
+                      const std::string& name,
                       const serve::FleetResult& result) {
   const auto s = result.summarize();
   const double steady_sec = to_seconds(result.duration - result.warmup);
+  const double served_per_sec =
+      static_cast<double>(s.admitted()) / steady_sec;
   table.add_row(
-      {name, std::to_string(s.requests), Table::num(s.admitted_p90_ms),
+      {name, std::to_string(s.requests()), Table::num(s.admitted_p90_ms),
        Table::num(s.admitted_mean_ms), Table::num(s.p90_ms),
        Table::num(s.shed_rate * 100.0, 1) + "%",
        Table::num(s.slo_miss_rate * 100.0, 1) + "%",
-       Table::num(static_cast<double>(s.admitted) / steady_sec, 1)});
+       Table::num(served_per_sec, 1)});
+  section.add_row({name, s.requests(), s.admitted_p90_ms, s.admitted_mean_ms,
+                   s.p90_ms, s.shed_rate, s.slo_miss_rate, served_per_sec});
 }
 
 /// Overloaded fleet of load-oblivious clients: 32 AlexNet devices that keep
@@ -51,7 +57,12 @@ serve::FleetConfig overload_config() {
   return config;
 }
 
-void scheduling_comparison(const core::PredictorBundle& bundle) {
+void scheduling_comparison(const core::PredictorBundle& bundle,
+                           obs::Report& report) {
+  auto& section = report.section(
+      "scheduling", {"frontend", "requests", "admitted_p90_ms",
+                     "admitted_mean_ms", "p90_all_ms", "shed_rate",
+                     "slo_miss_rate", "served_per_sec"});
   std::printf(
       "Overload scheduling: 32 load-oblivious AlexNet clients (Poisson "
       "arrivals, mean gap 5 ms, SLO 250 ms) vs frontend policy\n\n");
@@ -62,7 +73,7 @@ void scheduling_comparison(const core::PredictorBundle& bundle) {
     serve::FleetConfig config = overload_config();
     config.frontend.policy = serve::QueuePolicy::kFifo;
     config.frontend.admission_control = false;
-    print_config_row(table, "FIFO, no admission",
+    print_config_row(table, section, "FIFO, no admission",
                      serve::run_fleet(config, bundle));
   }
   {
@@ -70,7 +81,7 @@ void scheduling_comparison(const core::PredictorBundle& bundle) {
     config.frontend.policy = serve::QueuePolicy::kEdf;
     config.frontend.admission_control = true;
     config.frontend.delay_budget_sec = 0.15;
-    print_config_row(table, "EDF + admission (150 ms budget)",
+    print_config_row(table, section, "EDF + admission (150 ms budget)",
                      serve::run_fleet(config, bundle));
   }
   {
@@ -78,7 +89,7 @@ void scheduling_comparison(const core::PredictorBundle& bundle) {
     config.frontend.policy = serve::QueuePolicy::kSpjf;
     config.frontend.admission_control = true;
     config.frontend.delay_budget_sec = 0.15;
-    print_config_row(table, "SPJF + admission (150 ms budget)",
+    print_config_row(table, section, "SPJF + admission (150 ms budget)",
                      serve::run_fleet(config, bundle));
   }
   table.print();
@@ -110,7 +121,11 @@ serve::FleetConfig batching_config(std::size_t fixed_p) {
   return config;
 }
 
-void batching_comparison(const core::PredictorBundle& bundle) {
+void batching_comparison(const core::PredictorBundle& bundle,
+                         obs::Report& report) {
+  auto& section = report.section(
+      "batching", {"frontend", "served_per_sec", "admitted_p90_ms",
+                   "batched_share", "dispatches"});
   // Full offload (p = 0): every client streams the input frame and the GPU
   // runs the whole dispatch-dominated graph, so the GPU is the bottleneck
   // and coalescing identical suffixes is where the win is.
@@ -133,13 +148,18 @@ void batching_comparison(const core::PredictorBundle& bundle) {
         result.served > 0 ? 100.0 * static_cast<double>(result.batched_jobs) /
                                 static_cast<double>(result.served)
                           : 0.0;
-    table.add_row(
-        {max_batch == 1 ? std::string("no batching")
-                        : "batch <= " + std::to_string(max_batch) + ", 2 ms",
-         Table::num(static_cast<double>(s.admitted) / steady_sec, 1),
-         Table::num(s.admitted_p90_ms),
-         Table::num(batched_share, 1) + "%",
-         std::to_string(result.dispatches)});
+    const std::string label =
+        max_batch == 1 ? std::string("no batching")
+                       : "batch <= " + std::to_string(max_batch) + ", 2 ms";
+    const double served_per_sec =
+        static_cast<double>(s.admitted()) / steady_sec;
+    table.add_row({label, Table::num(served_per_sec, 1),
+                   Table::num(s.admitted_p90_ms),
+                   Table::num(batched_share, 1) + "%",
+                   std::to_string(result.dispatches)});
+    section.add_row({label, served_per_sec, s.admitted_p90_ms,
+                     batched_share / 100.0,
+                     static_cast<std::size_t>(result.dispatches)});
   }
   table.print();
   std::printf(
@@ -150,7 +170,8 @@ void batching_comparison(const core::PredictorBundle& bundle) {
       "drains faster.\n\n");
 }
 
-void determinism_check(const core::PredictorBundle& bundle) {
+void determinism_check(const core::PredictorBundle& bundle,
+                       obs::Report& report) {
   serve::FleetConfig config = overload_config();
   config.frontend.policy = serve::QueuePolicy::kEdf;
   config.frontend.admission_control = true;
@@ -173,14 +194,19 @@ void determinism_check(const core::PredictorBundle& bundle) {
   std::printf("Determinism: two runs with seed %llu -> %zu records, %s\n",
               static_cast<unsigned long long>(config.seed), records,
               identical ? "bit-identical" : "DIVERGED");
+  report.set("determinism_records", records);
+  report.set("deterministic", identical);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const auto bundle = core::train_default_predictors();
-  scheduling_comparison(bundle);
-  batching_comparison(bundle);
-  determinism_check(bundle);
+  lp::obs::Report report("fleet_scheduling");
+  scheduling_comparison(bundle, report);
+  batching_comparison(bundle, report);
+  determinism_check(bundle, report);
+  report.write_json(argc > 1 ? argv[1] : "BENCH_fleet.json");
+  report.maybe_write_csv_env();
   return 0;
 }

@@ -65,7 +65,7 @@ void run_mixed_fleet(const core::PredictorBundle& bundle) {
   Table table({"tenant", "clients", "mean(ms)", "p (modal)", "k"});
   for (std::size_t t = 0; t < config.tenants.size(); ++t) {
     const auto s = result.summarize(static_cast<int>(t));
-    if (s.requests == 0) continue;
+    if (s.requests() == 0) continue;
     table.add_row({s.name, std::to_string(config.tenants[t].clients),
                    Table::num(s.mean_ms), std::to_string(s.modal_p),
                    Table::num(s.mean_k, 1)});

@@ -4,13 +4,27 @@
 // degrade to on-device inference and push the senders' k up. Prints the
 // fleet summary and the frontend's counters — the shortest tour of the
 // serving layer (src/serve/).
+//
+// Telemetry tour: pass --trace out.json to capture the whole run as a
+// Chrome trace (open chrome://tracing or https://ui.perfetto.dev and load
+// the file); pass --metrics out.json to snapshot the metrics registry.
+// Both runs are deterministic: same seed, byte-identical files.
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "common/table.h"
+#include "obs/telemetry.h"
 #include "serve/fleet.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace lp;
+
+  std::string trace_path, metrics_path;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) trace_path = argv[++i];
+    else if (std::strcmp(argv[i], "--metrics") == 0) metrics_path = argv[++i];
+  }
 
   const auto bundle = core::train_default_predictors();
 
@@ -34,6 +48,13 @@ int main() {
   tenant.poisson_arrivals = true;
   tenant.slo_sec = 0.25;
   config.tenants.push_back(tenant);
+
+  // The sink must outlive run_fleet(); tracing is only paid for when
+  // --trace was asked for (null telemetry keeps the run bit-identical to
+  // the uninstrumented binary).
+  obs::Telemetry telemetry(/*tracing=*/!trace_path.empty());
+  if (!trace_path.empty() || !metrics_path.empty())
+    config.telemetry = &telemetry;
 
   std::printf(
       "12 AlexNet devices -> one frontend (EDF + admission, batch <= 4)\n"
@@ -60,5 +81,19 @@ int main() {
       "Expected: some requests shed and finished on-device (k rises via "
       "the reject backoff), admitted requests hold the 250 ms SLO, and a "
       "visible share of dispatches are coalesced batches.\n");
+
+  if (!trace_path.empty()) {
+    if (telemetry.trace()->write_chrome_json(trace_path))
+      std::printf("\n[trace written to %s — load it in chrome://tracing]\n",
+                  trace_path.c_str());
+    else
+      std::printf("\n[failed to write trace to %s]\n", trace_path.c_str());
+  }
+  if (!metrics_path.empty()) {
+    if (telemetry.metrics().write_json(metrics_path))
+      std::printf("[metrics written to %s]\n", metrics_path.c_str());
+    else
+      std::printf("[failed to write metrics to %s]\n", metrics_path.c_str());
+  }
   return 0;
 }

@@ -52,9 +52,13 @@ class SlidingWindow {
   double sum_ = 0.0;
 };
 
-/// Percentile of a sample set (linear interpolation). q is clamped to
-/// [0, 100] (NaN is a contract violation). Requires non-empty input; does
-/// not modify the argument.
+/// Percentile of a sample set. q is clamped to [0, 100] (NaN is a contract
+/// violation). Requires non-empty input; does not modify the argument.
+///
+/// Convention (the repo-wide one — obs::Histogram::percentile matches it):
+/// linear interpolation between closest ranks, rank = q/100 * (n - 1) on
+/// the sorted sample (Hyndman–Fan type 7, numpy's default). So p50 of
+/// {1, 2, 3, 4} is 2.5, not 2 or 3 — no nearest-rank rounding anywhere.
 double percentile(std::vector<double> values, double q);
 
 /// Arithmetic mean of a non-empty vector.

@@ -7,38 +7,6 @@
 
 namespace lp::core {
 
-const char* outcome_name(InferenceOutcome outcome) {
-  switch (outcome) {
-    case InferenceOutcome::kLocalDecision:
-      return "local";
-    case InferenceOutcome::kAdmitted:
-      return "admitted";
-    case InferenceOutcome::kDegradedLocal:
-      return "degraded";
-    case InferenceOutcome::kRecoveredLocal:
-      return "recovered";
-    case InferenceOutcome::kFailed:
-      return "failed";
-  }
-  return "?";
-}
-
-const char* failure_name(FailureKind kind) {
-  switch (kind) {
-    case FailureKind::kNone:
-      return "none";
-    case FailureKind::kTimeout:
-      return "timeout";
-    case FailureKind::kLinkDrop:
-      return "link-drop";
-    case FailureKind::kServerDown:
-      return "server-down";
-    case FailureKind::kShed:
-      return "shed";
-  }
-  return "?";
-}
-
 std::string policy_name(Policy policy) {
   switch (policy) {
     case Policy::kLoadPart:
@@ -220,6 +188,37 @@ OffloadClient::OffloadClient(sim::Simulator& sim, const hw::CpuModel& cpu,
                seconds(params.fault.breaker_cooldown_sec)),
       rng_(seed) {}
 
+void OffloadClient::set_telemetry(obs::Telemetry* telemetry,
+                                  const std::string& track) {
+  telemetry_ = telemetry;
+  if (telemetry_ == nullptr) return;
+  auto& metrics = telemetry_->metrics();
+  for (std::size_t i = 0; i < obs::kOutcomeCount; ++i)
+    outcome_counters_[i] = &metrics.counter(
+        std::string("core.outcome.") +
+        obs::outcome_name(static_cast<obs::Outcome>(i)));
+  failure_counters_[0] = nullptr;  // kNone is not a fault
+  for (std::size_t i = 1; i < obs::kFailureKindCount; ++i)
+    failure_counters_[i] = &metrics.counter(
+        std::string("core.failure.") +
+        obs::failure_name(static_cast<obs::FailureKind>(i)));
+  retry_counter_ = &metrics.counter("core.retries");
+  breaker_counter_ = &metrics.counter("core.breaker_local");
+  latency_ms_ = &metrics.histogram("core.request_ms", 0.0, 1000.0, 200);
+  queue_wait_ms_ = &metrics.histogram("core.queue_wait_ms", 0.0, 500.0, 100);
+  if (auto* tr = telemetry_->trace()) track_ = tr->track(track);
+}
+
+void OffloadClient::record_request_metrics(const InferenceRecord& rec) {
+  if (telemetry_ == nullptr) return;
+  outcome_counters_[static_cast<std::size_t>(rec.outcome)]->add();
+  retry_counter_->add(rec.retries);
+  if (rec.breaker_forced_local) breaker_counter_->add();
+  latency_ms_->record(rec.total_sec * 1e3);
+  if (rec.outcome == InferenceOutcome::kAdmitted)
+    queue_wait_ms_->record(rec.queue_wait_sec * 1e3);
+}
+
 double OffloadClient::partition_overhead_sec(std::size_t nodes,
                                              bool device) const {
   return device ? params_.device_partition_base_sec +
@@ -264,8 +263,12 @@ sim::Task OffloadClient::run_suffix_locally(std::size_t p,
       1, static_cast<DurationNs>(
              static_cast<double>(base) *
              jitter_scale(rng_, cpu_->params().jitter_frac)));
+  const TimeNs begin = sim_->now();
   co_await sim_->delay(actual);
   rec->device_sec += to_seconds(actual);
+  if (auto* tr = trace())
+    tr->span(track_, "suffix-local", begin, sim_->now(),
+             obs::TraceArgs().arg("p", p));
 }
 
 sim::Task OffloadClient::infer(InferenceRecord* out) {
@@ -294,6 +297,16 @@ sim::Task OffloadClient::infer(InferenceRecord* out) {
   rec.bandwidth_est_bps = estimator_.estimate();
   const std::size_t p = decision.p;
 
+  if (auto* tr = trace()) {
+    tr->instant(track_, "partition-decision", rec.start,
+                obs::TraceArgs()
+                    .arg("p", p)
+                    .arg("k", rec.k_used)
+                    .arg("bw_mbps", rec.bandwidth_est_bps / 1e6)
+                    .arg("predicted_ms", rec.predicted_sec * 1e3)
+                    .arg("breaker_forced_local", rec.breaker_forced_local));
+  }
+
   // Device-side partition cache.
   const partition::PartitionPlan* plan = cache_.find(p);
   if (plan == nullptr) {
@@ -302,7 +315,11 @@ sim::Task OffloadClient::infer(InferenceRecord* out) {
         fresh.device_part ? fresh.device_part->backbone().size() : 0;
     const double overhead = partition_overhead_sec(nodes, /*device=*/true);
     rec.overhead_sec += overhead;
+    const TimeNs prep_begin = sim_->now();
     co_await sim_->delay(seconds(overhead));
+    if (auto* tr = trace())
+      tr->span(track_, "partition-prepare", prep_begin, sim_->now(),
+               obs::TraceArgs().arg("p", p).arg("nodes", nodes));
     cache_.insert(std::move(fresh));
     plan = cache_.find(p);
     LP_CHECK(plan != nullptr);
@@ -315,7 +332,11 @@ sim::Task OffloadClient::infer(InferenceRecord* out) {
         1, static_cast<DurationNs>(
                static_cast<double>(base) *
                jitter_scale(rng_, cpu_->params().jitter_frac)));
+    const TimeNs exec_begin = sim_->now();
     co_await sim_->delay(actual);
+    if (auto* tr = trace())
+      tr->span(track_, "prefix-exec", exec_begin, sim_->now(),
+               obs::TraceArgs().arg("p", p));
     rec.device_sec = to_seconds(actual);
   }
 
@@ -399,6 +420,13 @@ sim::Task OffloadClient::infer(InferenceRecord* out) {
           // *reachability success* for the breaker: the server answered.
           rec.outcome = InferenceOutcome::kDegradedLocal;
           rec.last_failure = FailureKind::kShed;
+          if (telemetry_ != nullptr) {
+            failure_counters_[static_cast<std::size_t>(FailureKind::kShed)]
+                ->add();
+            if (auto* tr = trace())
+              tr->instant(track_, "shed", sim_->now(),
+                          obs::TraceArgs().arg("p", p));
+          }
           breaker_.record_success();
           if (policy_ == Policy::kLoadPart)
             k_cached_ = std::min(k_cached_ * params_.reject_k_backoff, 1e6);
@@ -412,7 +440,17 @@ sim::Task OffloadClient::infer(InferenceRecord* out) {
         } else {
           if (attempt_deadline > 0)
             sim_->spawn(watch_deadline(*sim_, reply, attempt_deadline));
+          const TimeNs wait_begin = sim_->now();
           co_await reply->done.wait();
+          if (auto* tr = trace()) {
+            tr->span(track_, "suffix-wait", wait_begin, sim_->now(),
+                     obs::TraceArgs()
+                         .arg("p", p)
+                         .arg("served",
+                              reply->status == SuffixStatus::kServed)
+                         .arg("queue_wait_ms", reply->queue_wait * 1e3)
+                         .arg("exec_ms", reply->exec * 1e3));
+          }
           if (reply->status == SuffixStatus::kServed) {
             DurationNs down_ns = 0;
             net::TransferOutcome down;
@@ -443,10 +481,21 @@ sim::Task OffloadClient::infer(InferenceRecord* out) {
       // A fault-type failure (timeout / link-drop / server-down).
       rec.last_failure = failure;
       ++rec.faults;
+      if (telemetry_ != nullptr) {
+        failure_counters_[static_cast<std::size_t>(failure)]->add();
+        if (auto* tr = trace())
+          tr->instant(track_, "fault", sim_->now(),
+                      obs::TraceArgs()
+                          .arg("kind", obs::failure_name(failure))
+                          .arg("attempt", attempt));
+      }
       breaker_.record_failure(sim_->now());
       if (attempt < fp.max_retries) {
         ++attempt;
         ++rec.retries;
+        if (auto* tr = trace())
+          tr->instant(track_, "retry", sim_->now(),
+                      obs::TraceArgs().arg("attempt", attempt));
         co_await sim_->delay(fp.backoff.delay(attempt, rng_));
         continue;
       }
@@ -454,15 +503,30 @@ sim::Task OffloadClient::infer(InferenceRecord* out) {
       // tensor is still here) or drop the request (fail-stop).
       if (fp.local_fallback) {
         rec.outcome = InferenceOutcome::kRecoveredLocal;
+        if (auto* tr = trace())
+          tr->instant(track_, "fallback-local", sim_->now(),
+                      obs::TraceArgs().arg("p", p));
         co_await run_suffix_locally(p, &rec);
       } else {
         rec.outcome = InferenceOutcome::kFailed;
+        if (auto* tr = trace()) tr->instant(track_, "dropped", sim_->now());
       }
       resolved = true;
     }
   }
 
   rec.total_sec = to_seconds(sim_->now() - rec.start);
+  if (auto* tr = trace()) {
+    tr->span(track_, "request", rec.start, sim_->now(),
+             obs::TraceArgs()
+                 .arg("p", rec.p)
+                 .arg("outcome", obs::outcome_name(rec.outcome))
+                 .arg("failure", obs::failure_name(rec.last_failure))
+                 .arg("predicted_ms", rec.predicted_sec * 1e3)
+                 .arg("total_ms", rec.total_sec * 1e3)
+                 .arg("retries", rec.retries));
+  }
+  record_request_metrics(rec);
   *out = rec;
   infer_slot_.release();
 }

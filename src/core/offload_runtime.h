@@ -27,6 +27,8 @@
 #include "hw/gpu_scheduler.h"
 #include "net/estimator.h"
 #include "net/link.h"
+#include "obs/taxonomy.h"
+#include "obs/telemetry.h"
 #include "partition/cache.h"
 
 namespace lp::core {
@@ -106,29 +108,13 @@ struct RuntimeParams {
   FaultToleranceParams fault;
 };
 
-/// What happened to one inference request at the serving layer.
-enum class InferenceOutcome : std::uint8_t {
-  kLocalDecision,  ///< the policy chose p = n; nothing left the device
-  kAdmitted,       ///< the suffix was admitted and served by the edge
-  kDegradedLocal,  ///< shed by the server; the suffix re-ran on the device
-  kRecoveredLocal, ///< offload path faulted; the suffix re-ran on the
-                   ///< device from the boundary tensor (failover)
-  kFailed,         ///< faulted with local_fallback off: the request is lost
-};
-
-const char* outcome_name(InferenceOutcome outcome);
-
-/// The last fault a request observed on its offload path (kShed is the
-/// admission-control "server busy" reply; the rest are failures).
-enum class FailureKind : std::uint8_t {
-  kNone,
-  kTimeout,     ///< the per-attempt RPC deadline expired
-  kLinkDrop,    ///< injected packet loss killed a transfer
-  kServerDown,  ///< the server crashed mid-request or refused as down
-  kShed,        ///< admission control shed the request
-};
-
-const char* failure_name(FailureKind kind);
+/// Request outcome / failure taxonomy: shared with every other layer via
+/// obs/taxonomy.h (one vocabulary for records, tenant summaries, fault
+/// benches and the metrics registry).
+using InferenceOutcome = obs::Outcome;
+using FailureKind = obs::FailureKind;
+using obs::failure_name;
+using obs::outcome_name;
 
 /// Everything measured about one inference (a sample of Figs. 1/2/6-9).
 struct InferenceRecord {
@@ -284,6 +270,14 @@ class OffloadClient {
   /// The decision the client would take right now (no side effects).
   Decision current_decision() const;
 
+  /// Attaches telemetry (null detaches): infer() then records a root
+  /// "request" span on `track` with nested partition-prepare / prefix-exec
+  /// / suffix-wait / suffix-local children, decision/retry/fallback
+  /// instants, and core.* counters + latency histograms. Call
+  /// link.set_telemetry with the same track so transfer spans nest under
+  /// the request. Purely observational.
+  void set_telemetry(obs::Telemetry* telemetry, const std::string& track);
+
   double cached_k() const { return k_cached_; }
   const net::BandwidthEstimator& estimator() const { return estimator_; }
   const partition::PartitionCache& cache() const { return cache_; }
@@ -293,6 +287,11 @@ class OffloadClient {
   sim::Task runtime_profiler(DurationNs period);
   sim::Task run_suffix_locally(std::size_t p, InferenceRecord* rec);
   double partition_overhead_sec(std::size_t nodes, bool device) const;
+  /// Trace recorder when telemetry is attached and tracing is on.
+  obs::TraceRecorder* trace() const {
+    return telemetry_ != nullptr ? telemetry_->trace() : nullptr;
+  }
+  void record_request_metrics(const InferenceRecord& rec);
 
   sim::Simulator* sim_;
   const hw::CpuModel* cpu_;
@@ -314,6 +313,17 @@ class OffloadClient {
   /// false only).
   std::vector<bool> params_on_server_;
   Rng rng_;
+
+  // Telemetry (optional; null = fully off). Metric handles are resolved
+  // once in set_telemetry so the per-request path is O(1) pointer bumps.
+  obs::Telemetry* telemetry_ = nullptr;
+  obs::TrackId track_ = 0;
+  obs::Counter* outcome_counters_[obs::kOutcomeCount] = {};
+  obs::Counter* failure_counters_[obs::kFailureKindCount] = {};
+  obs::Counter* retry_counter_ = nullptr;
+  obs::Counter* breaker_counter_ = nullptr;
+  obs::Histogram* latency_ms_ = nullptr;
+  obs::Histogram* queue_wait_ms_ = nullptr;
 };
 
 }  // namespace lp::core

@@ -494,18 +494,60 @@ std::vector<Tensor> Interpreter::run(const TensorMap& bindings,
     }
   };
 
+  // Exec tracing lives on a synthetic step clock (one tick per kernel
+  // launch): the interpreter does real float math outside the simulated
+  // clock, so its spans form their own deterministic clock domain.
+  obs::TraceRecorder* tr =
+      options_.telemetry != nullptr ? options_.telemetry->trace() : nullptr;
+  obs::TrackId exec_track = tr != nullptr ? tr->track("exec") : 0;
+  constexpr DurationNs kStepNs = 1000;  // one tick renders as 1 µs
+  const TimeNs run_begin = exec_clock_;
+  auto step_span = [&](const Node& node, std::size_t group_size) {
+    if (tr == nullptr) return;
+    const TimeNs begin = exec_clock_;
+    exec_clock_ += kStepNs;
+    obs::TraceArgs args;
+    args.arg("node", node.name);
+    if (group_size > 1) args.arg("fused", group_size);
+    tr->span(exec_track, graph::op_name(node.op), begin, exec_clock_,
+             std::move(args));
+    tr->counter(exec_track, "resident_bytes", exec_clock_,
+                static_cast<double>(cur));
+  };
+
   if (optimized) {
     for (const auto& group : groups_) {
       exec_optimized(group);
       for (graph::NodeId nid : group.nodes)
         for (graph::NodeId in : g.node(nid).inputs) dec(in);
+      step_span(g.node(group.anchor()), group.size());
     }
   } else {
     for (graph::NodeId nid : g.backbone()) {
       const Node& node = g.node(nid);
       exec_reference(node);
       for (graph::NodeId in : node.inputs) dec(in);
+      step_span(node, 1);
     }
+  }
+
+  if (tr != nullptr) {
+    tr->span(exec_track, "run", run_begin, exec_clock_,
+             obs::TraceArgs()
+                 .arg("peak_resident_bytes", peak)
+                 .arg("fused_groups", fused)
+                 .arg("moved_tensors", moved));
+  }
+  if (options_.telemetry != nullptr) {
+    auto& metrics = options_.telemetry->metrics();
+    metrics.counter("exec.runs").add();
+    metrics.gauge("exec.peak_resident_bytes")
+        .set(static_cast<double>(peak));
+    metrics.gauge("exec.final_resident_bytes")
+        .set(static_cast<double>(cur));
+    metrics.gauge("exec.released_bytes").set(static_cast<double>(released));
+    metrics.gauge("exec.moved_tensors").set(static_cast<double>(moved));
+    metrics.gauge("exec.fused_groups").set(static_cast<double>(fused));
   }
 
   if (stats) {

@@ -23,6 +23,7 @@
 #include "exec/tensor.h"
 #include "graph/fusion.h"
 #include "graph/graph.h"
+#include "obs/telemetry.h"
 
 namespace lp::exec {
 
@@ -43,6 +44,14 @@ struct Options {
   /// 0 = std::thread::hardware_concurrency(). Thread count never changes
   /// results.
   int num_threads = 1;
+  /// Telemetry sink (null = off). run() then records one span per node
+  /// (or per fused group) on an "exec" track plus a resident-bytes counter
+  /// series, and mirrors RunStats into exec.* gauges. The interpreter does
+  /// real work off the simulated clock, so exec spans live on a synthetic
+  /// step clock (one fixed tick per kernel launch, monotonic across run()
+  /// calls) — a separate clock domain from the simulation tracks.
+  /// Recording never changes results. Must outlive the Interpreter.
+  obs::Telemetry* telemetry = nullptr;
 };
 
 /// Memory/fusion counters for a single run() call.
@@ -87,6 +96,9 @@ class Interpreter {
   Options options_;
   std::vector<graph::FusionGroup> groups_;  // optimized-mode schedule
   std::unique_ptr<ThreadPool> pool_;        // optimized mode only
+  /// Synthetic exec-trace clock (see Options::telemetry); advances one
+  /// tick per kernel launch, monotonic across run() calls.
+  mutable TimeNs exec_clock_ = 0;
 };
 
 }  // namespace lp::exec

@@ -23,9 +23,47 @@ BitsPerSec Link::true_download_bw() const {
   return down_.bandwidth_at(sim_->now());
 }
 
+void Link::set_telemetry(obs::Telemetry* telemetry, const std::string& track) {
+  telemetry_ = telemetry;
+  if (telemetry_ == nullptr) return;
+  if (auto* tr = telemetry_->trace()) track_ = tr->track(track);
+}
+
+namespace {
+
+const char* status_name(TransferStatus status) {
+  switch (status) {
+    case TransferStatus::kOk:
+      return "ok";
+    case TransferStatus::kTimedOut:
+      return "timeout";
+    case TransferStatus::kLost:
+      return "lost";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void Link::observe(const char* dir, std::int64_t bytes, TimeNs start,
+                   BitsPerSec bw, TransferStatus status) {
+  if (telemetry_ == nullptr) return;
+  auto& metrics = telemetry_->metrics();
+  metrics.counter(std::string("net.transfer.") + status_name(status)).add();
+  if (status == TransferStatus::kOk)
+    metrics.counter(std::string("net.bytes.") + dir).add(bytes);
+  if (auto* tr = telemetry_->trace()) {
+    tr->span(track_, dir, start, sim_->now(),
+             obs::TraceArgs()
+                 .arg("bytes", bytes)
+                 .arg("bw_mbps", bw / 1e6)
+                 .arg("status", status_name(status)));
+  }
+}
+
 sim::Task Link::transfer(std::int64_t bytes, const BandwidthTrace& trace,
-                         DurationNs* measured, TimeNs deadline,
-                         TransferOutcome* outcome) {
+                         const char* dir, DurationNs* measured,
+                         TimeNs deadline, TransferOutcome* outcome) {
   LP_CHECK(bytes >= 0);
   const TimeNs start = sim_->now();
   // ~3% multiplicative jitter models MAC-layer variance; clamped so a
@@ -40,6 +78,7 @@ sim::Task Link::transfer(std::int64_t bytes, const BandwidthTrace& trace,
     LP_CHECK_MSG(deadline > 0,
                  "transfer on a permanently dead link needs a deadline");
     co_await sim_->delay(std::max<DurationNs>(0, deadline - start));
+    observe(dir, bytes, start, 0.0, TransferStatus::kTimedOut);
     if (outcome != nullptr)
       *outcome = {TransferStatus::kTimedOut, sim_->now() - start};
     co_return;
@@ -66,12 +105,14 @@ sim::Task Link::transfer(std::int64_t bytes, const BandwidthTrace& trace,
 
   if (deadline > 0 && finish > deadline) {
     co_await sim_->delay(std::max<DurationNs>(0, deadline - start));
+    observe(dir, bytes, start, bw, TransferStatus::kTimedOut);
     if (outcome != nullptr)
       *outcome = {TransferStatus::kTimedOut, sim_->now() - start};
     co_return;
   }
 
   co_await sim_->delay(finish - start);
+  observe(dir, bytes, start, bw, status);
   if (status == TransferStatus::kOk && measured != nullptr)
     *measured = finish - start;
   if (outcome != nullptr) *outcome = {status, finish - start};
@@ -79,12 +120,12 @@ sim::Task Link::transfer(std::int64_t bytes, const BandwidthTrace& trace,
 
 sim::Task Link::upload(std::int64_t bytes, DurationNs* measured,
                        TimeNs deadline, TransferOutcome* outcome) {
-  return transfer(bytes, up_, measured, deadline, outcome);
+  return transfer(bytes, up_, "upload", measured, deadline, outcome);
 }
 
 sim::Task Link::download(std::int64_t bytes, DurationNs* measured,
                          TimeNs deadline, TransferOutcome* outcome) {
-  return transfer(bytes, down_, measured, deadline, outcome);
+  return transfer(bytes, down_, "download", measured, deadline, outcome);
 }
 
 }  // namespace lp::net

@@ -25,10 +25,13 @@
 // bandwidth observation channel and must not learn from aborted sends.
 #pragma once
 
+#include <string>
+
 #include "common/rng.h"
 #include "common/units.h"
 #include "fault/fault_plan.h"
 #include "net/bandwidth_trace.h"
+#include "obs/telemetry.h"
 #include "sim/simulator.h"
 
 namespace lp::net {
@@ -63,6 +66,13 @@ class Link {
   /// must outlive the link; null detaches.
   void attach_faults(const fault::FaultPlan* plan) { faults_ = plan; }
 
+  /// Attaches telemetry (null detaches): every transfer then records an
+  /// "upload"/"download" span on `track` tagged with bytes, the sampled
+  /// bandwidth and the outcome, and bumps net.* counters. Pass the owning
+  /// client's track name so transfer spans nest under its request spans.
+  /// Purely observational — attaching never changes link behavior.
+  void set_telemetry(obs::Telemetry* telemetry, const std::string& track);
+
   /// True bandwidths right now (tests / oracle baselines only; the system
   /// under test must use the estimator instead).
   BitsPerSec true_upload_bw() const;
@@ -72,8 +82,10 @@ class Link {
 
  private:
   sim::Task transfer(std::int64_t bytes, const BandwidthTrace& trace,
-                     DurationNs* measured, TimeNs deadline,
+                     const char* dir, DurationNs* measured, TimeNs deadline,
                      TransferOutcome* outcome);
+  void observe(const char* dir, std::int64_t bytes, TimeNs start,
+               BitsPerSec bw, TransferStatus status);
 
   sim::Simulator* sim_;
   BandwidthTrace up_;
@@ -81,6 +93,8 @@ class Link {
   DurationNs rtt_;
   const fault::FaultPlan* faults_ = nullptr;
   Rng rng_;
+  obs::Telemetry* telemetry_ = nullptr;
+  obs::TrackId track_ = 0;
 };
 
 }  // namespace lp::net

@@ -1,0 +1,71 @@
+#include "obs/taxonomy.h"
+
+#include "common/check.h"
+#include "obs/metrics.h"
+
+namespace lp::obs {
+
+const char* outcome_name(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kLocalDecision:
+      return "local";
+    case Outcome::kAdmitted:
+      return "admitted";
+    case Outcome::kDegradedLocal:
+      return "degraded_local";
+    case Outcome::kRecoveredLocal:
+      return "recovered_local";
+    case Outcome::kFailed:
+      return "failed";
+  }
+  LP_CHECK_MSG(false, "unknown outcome");
+  return "?";
+}
+
+const char* failure_name(FailureKind kind) {
+  switch (kind) {
+    case FailureKind::kNone:
+      return "none";
+    case FailureKind::kTimeout:
+      return "timeout";
+    case FailureKind::kLinkDrop:
+      return "link_drop";
+    case FailureKind::kServerDown:
+      return "server_down";
+    case FailureKind::kShed:
+      return "shed";
+  }
+  LP_CHECK_MSG(false, "unknown failure kind");
+  return "?";
+}
+
+void OutcomeCounts::add(Outcome outcome, FailureKind last_failure, int retries,
+                        int faults, bool breaker_forced_local) {
+  ++requests_;
+  ++by_outcome_[static_cast<std::size_t>(outcome)];
+  ++by_failure_[static_cast<std::size_t>(last_failure)];
+  retries_ += static_cast<std::size_t>(retries);
+  faults_ += static_cast<std::size_t>(faults);
+  if (breaker_forced_local) ++breaker_forced_local_;
+}
+
+void OutcomeCounts::publish(MetricsRegistry& registry,
+                            const std::string& prefix) const {
+  registry.counter(prefix + ".requests").add(std::int64_t(requests_));
+  for (std::size_t i = 0; i < kOutcomeCount; ++i) {
+    const auto outcome = static_cast<Outcome>(i);
+    registry.counter(prefix + ".outcome." + outcome_name(outcome))
+        .add(std::int64_t(count(outcome)));
+  }
+  for (std::size_t i = 1; i < kFailureKindCount; ++i) {
+    const auto kind = static_cast<FailureKind>(i);
+    registry.counter(prefix + ".failure." + failure_name(kind))
+        .add(std::int64_t(count(kind)));
+  }
+  registry.counter(prefix + ".retries").add(std::int64_t(retries_));
+  registry.counter(prefix + ".faults").add(std::int64_t(faults_));
+  registry.counter(prefix + ".breaker_local")
+      .add(std::int64_t(breaker_forced_local_));
+}
+
+}  // namespace lp::obs

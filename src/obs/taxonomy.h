@@ -1,0 +1,95 @@
+// The one request-outcome taxonomy every layer reports through.
+//
+// Before this header existed, three parallel vocabularies described what
+// happened to a request: InferenceRecord's outcome/failure fields, the
+// FleetDriver's hand-maintained tenant counters, and each fault bench's
+// private tallies. They drifted (and double-counted) independently. Now
+// the enums live here, next to the MetricsRegistry they publish into, and
+// OutcomeCounts is the single accumulator all of them share:
+//   * core::InferenceOutcome / core::FailureKind are aliases of Outcome /
+//     FailureKind below;
+//   * serve::TenantSummary wraps an OutcomeCounts instead of a dozen
+//     counter fields;
+//   * benches fold records with OutcomeCounts::add and read the typed
+//     accessors instead of re-implementing the switch.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace lp::obs {
+
+class MetricsRegistry;
+
+/// What happened to one inference request at the serving layer.
+enum class Outcome : std::uint8_t {
+  kLocalDecision,  ///< the policy chose p = n; nothing left the device
+  kAdmitted,       ///< the suffix was admitted and served by the edge
+  kDegradedLocal,  ///< shed by the server; the suffix re-ran on the device
+  kRecoveredLocal, ///< offload path faulted; the suffix re-ran on the
+                   ///< device from the boundary tensor (failover)
+  kFailed,         ///< faulted with local_fallback off: the request is lost
+};
+inline constexpr std::size_t kOutcomeCount = 5;
+
+/// The last fault a request observed on its offload path (kShed is the
+/// admission-control "server busy" reply; the rest are failures).
+enum class FailureKind : std::uint8_t {
+  kNone,
+  kTimeout,     ///< the per-attempt RPC deadline expired
+  kLinkDrop,    ///< injected packet loss killed a transfer
+  kServerDown,  ///< the server crashed mid-request or refused as down
+  kShed,        ///< admission control shed the request
+};
+inline constexpr std::size_t kFailureKindCount = 5;
+
+const char* outcome_name(Outcome outcome);
+const char* failure_name(FailureKind kind);
+
+/// Typed tally of request outcomes and fault taxonomy — the accumulator
+/// behind TenantSummary and the fault benches. add() is O(1); publish()
+/// mirrors the counts into a MetricsRegistry under `prefix.`.
+class OutcomeCounts {
+ public:
+  /// Folds one finished request: its outcome, its last failure, and its
+  /// retry/fault/breaker accounting.
+  void add(Outcome outcome, FailureKind last_failure = FailureKind::kNone,
+           int retries = 0, int faults = 0, bool breaker_forced_local = false);
+
+  std::size_t count(Outcome outcome) const {
+    return by_outcome_[static_cast<std::size_t>(outcome)];
+  }
+  std::size_t count(FailureKind kind) const {
+    return by_failure_[static_cast<std::size_t>(kind)];
+  }
+
+  /// Every request folded in, whatever its outcome.
+  std::size_t requests() const { return requests_; }
+  std::size_t local() const { return count(Outcome::kLocalDecision); }
+  std::size_t admitted() const { return count(Outcome::kAdmitted); }
+  std::size_t degraded() const { return count(Outcome::kDegradedLocal); }
+  std::size_t recovered() const { return count(Outcome::kRecoveredLocal); }
+  std::size_t failed() const { return count(Outcome::kFailed); }
+  std::size_t timeouts() const { return count(FailureKind::kTimeout); }
+  std::size_t link_drops() const { return count(FailureKind::kLinkDrop); }
+  std::size_t server_downs() const { return count(FailureKind::kServerDown); }
+  std::size_t retries() const { return retries_; }
+  std::size_t faults() const { return faults_; }
+  std::size_t breaker_forced_local() const { return breaker_forced_local_; }
+
+  /// Mirrors every non-zero-meaning count into `registry` as counters
+  /// named "<prefix>.outcome.<name>", "<prefix>.failure.<name>",
+  /// "<prefix>.retries", "<prefix>.faults", "<prefix>.breaker_local".
+  void publish(MetricsRegistry& registry, const std::string& prefix) const;
+
+ private:
+  std::size_t by_outcome_[kOutcomeCount] = {};
+  std::size_t by_failure_[kFailureKindCount] = {};
+  std::size_t requests_ = 0;
+  std::size_t retries_ = 0;
+  std::size_t faults_ = 0;
+  std::size_t breaker_forced_local_ = 0;
+};
+
+}  // namespace lp::obs

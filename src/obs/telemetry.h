@@ -1,0 +1,47 @@
+// Telemetry: the one handle a layer holds to report anything.
+//
+// Every instrumented layer (exec::Interpreter, net::Link, core::OffloadClient,
+// serve::EdgeServerFrontend / run_fleet) takes an optional `obs::Telemetry*`.
+// A null pointer — the default everywhere — means fully off: the layers
+// skip instrumentation entirely, so legacy runs are bit-identical to
+// pre-telemetry builds.
+//
+// A Telemetry object always carries a MetricsRegistry (aggregates are
+// cheap), and carries a TraceRecorder only when constructed with
+// `tracing = true`. Layers gate per-event recording on `trace()`, which is
+// null when tracing is off:
+//
+//   if (auto* tr = telemetry_->trace())
+//     tr->span(track_, "transfer", begin, now, ...);
+//
+// Both sinks record only simulation-deterministic values, so enabling them
+// never perturbs a run and two same-seed runs export byte-identical files.
+#pragma once
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace lp::obs {
+
+class Telemetry {
+ public:
+  explicit Telemetry(bool tracing = false) : tracing_(tracing) {}
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  /// The trace recorder, or null when tracing is disabled.
+  TraceRecorder* trace() { return tracing_ ? &trace_ : nullptr; }
+  const TraceRecorder* trace() const { return tracing_ ? &trace_ : nullptr; }
+
+  bool tracing() const { return tracing_; }
+
+ private:
+  bool tracing_;
+  MetricsRegistry metrics_;
+  TraceRecorder trace_;
+};
+
+}  // namespace lp::obs

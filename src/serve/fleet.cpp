@@ -68,60 +68,31 @@ TenantSummary FleetResult::summarize(int tenant) const {
     const double slo = tenant_slo_sec[trace.tenant];
     for (const core::InferenceRecord& rec : trace.records) {
       if (rec.start < warmup) continue;
-      ++s.requests;
+      // The shared taxonomy tally replaces the per-outcome switch the
+      // summary used to hand-roll.
+      s.outcomes.add(rec.outcome, rec.last_failure, rec.retries, rec.faults,
+                     rec.breaker_forced_local);
       ++p_counts[rec.p];
       k_total += rec.k_used;
-      s.retries += static_cast<std::size_t>(rec.retries);
-      s.faults += static_cast<std::size_t>(rec.faults);
-      if (rec.breaker_forced_local) ++s.breaker_forced_local;
-      switch (rec.last_failure) {
-        case core::FailureKind::kTimeout:
-          ++s.timeouts;
-          break;
-        case core::FailureKind::kLinkDrop:
-          ++s.link_drops;
-          break;
-        case core::FailureKind::kServerDown:
-          ++s.server_downs;
-          break;
-        case core::FailureKind::kNone:
-        case core::FailureKind::kShed:
-          break;
+      if (rec.outcome == core::InferenceOutcome::kFailed) {
+        // A dropped request has no completion latency; it still counts
+        // against requests and (unconditionally) against the SLO.
+        if (slo > 0.0) ++slo_misses;
+        continue;
       }
-      switch (rec.outcome) {
-        case core::InferenceOutcome::kAdmitted:
-          ++s.admitted;
-          all_ms.push_back(rec.total_sec * 1e3);
-          admitted_ms.push_back(rec.total_sec * 1e3);
-          wait_total += rec.queue_wait_sec;
-          break;
-        case core::InferenceOutcome::kDegradedLocal:
-          ++s.degraded;
-          all_ms.push_back(rec.total_sec * 1e3);
-          break;
-        case core::InferenceOutcome::kLocalDecision:
-          ++s.local;
-          all_ms.push_back(rec.total_sec * 1e3);
-          break;
-        case core::InferenceOutcome::kRecoveredLocal:
-          ++s.recovered;
-          all_ms.push_back(rec.total_sec * 1e3);
-          if (slo > 0.0 && rec.total_sec > slo) ++recovered_slo_misses;
-          break;
-        case core::InferenceOutcome::kFailed:
-          // A dropped request has no completion latency; it still counts
-          // against requests and (unconditionally) against the SLO.
-          ++s.failed;
-          if (slo > 0.0) {
-            ++slo_misses;
-            continue;
-          }
-          continue;
+      all_ms.push_back(rec.total_sec * 1e3);
+      if (rec.outcome == core::InferenceOutcome::kAdmitted) {
+        admitted_ms.push_back(rec.total_sec * 1e3);
+        wait_total += rec.queue_wait_sec;
       }
-      if (slo > 0.0 && rec.total_sec > slo) ++slo_misses;
+      if (slo > 0.0 && rec.total_sec > slo) {
+        ++slo_misses;
+        if (rec.outcome == core::InferenceOutcome::kRecoveredLocal)
+          ++recovered_slo_misses;
+      }
     }
   }
-  if (s.requests == 0) return s;
+  if (s.requests() == 0) return s;
   if (!all_ms.empty()) {
     s.mean_ms = mean_of(all_ms);
     s.p90_ms = percentile(all_ms, 90);
@@ -130,12 +101,12 @@ TenantSummary FleetResult::summarize(int tenant) const {
     s.admitted_mean_ms = mean_of(admitted_ms);
     s.admitted_p90_ms = percentile(admitted_ms, 90);
     s.mean_queue_wait_ms =
-        wait_total / static_cast<double>(s.admitted) * 1e3;
+        wait_total / static_cast<double>(s.admitted()) * 1e3;
   }
-  if (s.recovered > 0)
+  if (s.recovered() > 0)
     s.recovered_slo_miss_rate = static_cast<double>(recovered_slo_misses) /
-                                static_cast<double>(s.recovered);
-  s.mean_k = k_total / static_cast<double>(s.requests);
+                                static_cast<double>(s.recovered());
+  s.mean_k = k_total / static_cast<double>(s.requests());
   int best = -1;
   for (const auto& [p, count] : p_counts)
     if (count > best) {
@@ -143,18 +114,18 @@ TenantSummary FleetResult::summarize(int tenant) const {
       s.modal_p = p;
     }
   s.shed_rate =
-      static_cast<double>(s.degraded) / static_cast<double>(s.requests);
+      static_cast<double>(s.degraded()) / static_cast<double>(s.requests());
   s.slo_miss_rate =
-      static_cast<double>(slo_misses) / static_cast<double>(s.requests);
+      static_cast<double>(slo_misses) / static_cast<double>(s.requests());
   const double window = to_seconds(duration - warmup);
   if (window > 0.0)
-    s.requests_per_sec = static_cast<double>(s.requests) / window;
+    s.requests_per_sec = static_cast<double>(s.requests()) / window;
   return s;
 }
 
 std::vector<std::string> TenantSummary::table_row(int latency_digits) const {
   return {name,
-          std::to_string(requests),
+          std::to_string(requests()),
           Table::num(mean_ms, latency_digits),
           Table::num(p90_ms, latency_digits),
           Table::num(admitted_p90_ms, latency_digits),
@@ -162,6 +133,20 @@ std::vector<std::string> TenantSummary::table_row(int latency_digits) const {
           Table::num(mean_queue_wait_ms, latency_digits),
           std::to_string(modal_p),
           Table::num(mean_k, 1)};
+}
+
+void TenantSummary::publish(obs::MetricsRegistry& registry,
+                            const std::string& prefix) const {
+  outcomes.publish(registry, prefix);
+  registry.gauge(prefix + ".mean_ms").set(mean_ms);
+  registry.gauge(prefix + ".p90_ms").set(p90_ms);
+  registry.gauge(prefix + ".admitted_p90_ms").set(admitted_p90_ms);
+  registry.gauge(prefix + ".mean_queue_wait_ms").set(mean_queue_wait_ms);
+  registry.gauge(prefix + ".mean_k").set(mean_k);
+  registry.gauge(prefix + ".modal_p").set(static_cast<double>(modal_p));
+  registry.gauge(prefix + ".shed_rate").set(shed_rate);
+  registry.gauge(prefix + ".slo_miss_rate").set(slo_miss_rate);
+  registry.gauge(prefix + ".requests_per_sec").set(requests_per_sec);
 }
 
 FleetResult run_fleet(const FleetConfig& config,
@@ -175,6 +160,7 @@ FleetResult run_fleet(const FleetConfig& config,
   hw::GpuScheduler scheduler(sim);
   EdgeServerFrontend frontend(sim, scheduler, gpu, config.frontend,
                               config.runtime, config.seed ^ 0xf00d);
+  if (config.telemetry != nullptr) frontend.set_telemetry(config.telemetry);
   frontend.start_gpu_watcher(config.watcher_period);
   const bool faulty = !config.faults.empty();
   if (faulty) frontend.attach_fault_plan(&config.faults);
@@ -230,6 +216,18 @@ FleetResult run_fleet(const FleetConfig& config,
       clients.push_back(std::make_unique<core::OffloadClient>(
           sim, cpu, profile, *links.back(), frontend, spec.policy, runtime,
           seed ^ 0xc1, session));
+      if (config.telemetry != nullptr) {
+        // Client and link share one track so transfer spans nest under
+        // the client's request spans.
+        std::string track = "t";
+        track += std::to_string(t);
+        track += '/';
+        track += spec.model;
+        track += '#';
+        track += std::to_string(c);
+        links.back()->set_telemetry(config.telemetry, track);
+        clients.back()->set_telemetry(config.telemetry, track);
+      }
       clients.back()->start_runtime_profiler(config.profiler_period);
       result.clients.push_back(ClientTrace{t, {}});
       sim.spawn(client_stream(
@@ -251,6 +249,19 @@ FleetResult run_fleet(const FleetConfig& config,
   result.refused = frontend.refused();
   result.crashes = frontend.crashes();
   result.failed_jobs = frontend.failed_jobs();
+
+  // Per-tenant steady-state summaries land in the registry so one snapshot
+  // export carries the whole experiment.
+  if (config.telemetry != nullptr) {
+    auto& metrics = config.telemetry->metrics();
+    for (std::size_t t = 0; t < config.tenants.size(); ++t) {
+      std::string prefix = "fleet.t";
+      prefix += std::to_string(t);
+      prefix += '.';
+      prefix += result.tenant_names[t];
+      result.summarize(static_cast<int>(t)).publish(metrics, prefix);
+    }
+  }
   return result;
 }
 

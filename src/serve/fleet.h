@@ -15,6 +15,8 @@
 
 #include "models/zoo.h"
 #include "net/bandwidth_trace.h"
+#include "obs/taxonomy.h"
+#include "obs/telemetry.h"
 #include "serve/frontend.h"
 
 namespace lp::serve {
@@ -51,6 +53,12 @@ struct FleetConfig {
   DurationNs profiler_period = seconds(5);
   DurationNs watcher_period = seconds(10);
   std::uint64_t seed = 1;
+
+  /// Telemetry sink wired through the whole testbed (frontend, links,
+  /// clients); per-tenant summaries are published into its registry after
+  /// the run. Null (default) = fully off: the run is bit-identical to one
+  /// without telemetry. Must outlive run_fleet().
+  obs::Telemetry* telemetry = nullptr;
 };
 
 /// The record stream of one client, tagged with its tenant index.
@@ -59,21 +67,29 @@ struct ClientTrace {
   std::vector<core::InferenceRecord> records;
 };
 
-/// Steady-state summary of one tenant (or of the whole fleet).
+/// Steady-state summary of one tenant (or of the whole fleet): a typed
+/// view over the shared outcome taxonomy (obs::OutcomeCounts) plus derived
+/// latency/SLO statistics. The count accessors forward to the tally — the
+/// summary no longer maintains a parallel set of hand-rolled counters.
 struct TenantSummary {
   std::string name;
-  std::size_t requests = 0;
-  std::size_t admitted = 0;   ///< outcome kAdmitted
-  std::size_t degraded = 0;   ///< shed by the frontend, finished locally
-  std::size_t local = 0;      ///< the policy chose p = n
-  std::size_t recovered = 0;  ///< failed over to local after faults
-  std::size_t failed = 0;     ///< dropped (fail-stop, no local fallback)
-  std::size_t retries = 0;    ///< total retry attempts across requests
-  std::size_t faults = 0;     ///< total fault events (timeout/drop/down)
-  std::size_t breaker_forced_local = 0;  ///< open breaker pinned p = n
-  std::size_t timeouts = 0;       ///< requests whose last failure: timeout
-  std::size_t link_drops = 0;     ///< ... injected packet loss
-  std::size_t server_downs = 0;   ///< ... crashed server
+  obs::OutcomeCounts outcomes;
+
+  std::size_t requests() const { return outcomes.requests(); }
+  std::size_t admitted() const { return outcomes.admitted(); }
+  std::size_t degraded() const { return outcomes.degraded(); }
+  std::size_t local() const { return outcomes.local(); }
+  std::size_t recovered() const { return outcomes.recovered(); }
+  std::size_t failed() const { return outcomes.failed(); }
+  std::size_t retries() const { return outcomes.retries(); }
+  std::size_t faults() const { return outcomes.faults(); }
+  std::size_t breaker_forced_local() const {
+    return outcomes.breaker_forced_local();
+  }
+  std::size_t timeouts() const { return outcomes.timeouts(); }
+  std::size_t link_drops() const { return outcomes.link_drops(); }
+  std::size_t server_downs() const { return outcomes.server_downs(); }
+
   double mean_ms = 0.0;      ///< over every completed request
   double p90_ms = 0.0;
   double admitted_mean_ms = 0.0;  ///< over admitted requests only
@@ -89,6 +105,12 @@ struct TenantSummary {
   double requests_per_sec = 0.0;
 
   std::vector<std::string> table_row(int latency_digits = 1) const;
+
+  /// Mirrors the tally and latency statistics into a registry under
+  /// "<prefix>." (outcome/failure counters via OutcomeCounts::publish,
+  /// latency and rate gauges alongside).
+  void publish(obs::MetricsRegistry& registry,
+               const std::string& prefix) const;
 };
 
 struct FleetResult {

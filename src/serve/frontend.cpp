@@ -66,6 +66,28 @@ double EdgeServerFrontend::predicted_queue_delay_sec() const {
   return queue_.predicted_backlog_sec() + in_flight_sec_;
 }
 
+void EdgeServerFrontend::set_telemetry(obs::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  if (telemetry_ == nullptr) return;
+  auto& metrics = telemetry_->metrics();
+  admitted_counter_ = &metrics.counter("serve.admitted");
+  shed_counter_ = &metrics.counter("serve.shed");
+  refused_counter_ = &metrics.counter("serve.refused");
+  served_counter_ = &metrics.counter("serve.served");
+  failed_counter_ = &metrics.counter("serve.failed_jobs");
+  crash_counter_ = &metrics.counter("serve.crashes");
+  batch_occupancy_ = &metrics.histogram("serve.batch_occupancy", 0.0, 32.0,
+                                        32);
+  queue_wait_ms_ = &metrics.histogram("serve.queue_wait_ms", 0.0, 500.0, 100);
+  if (auto* tr = telemetry_->trace()) track_ = tr->track("frontend");
+}
+
+void EdgeServerFrontend::observe_queue_depth() {
+  if (auto* tr = trace())
+    tr->counter(track_, "queue_depth", sim_->now(),
+                static_cast<double>(queue_.size()));
+}
+
 core::SubmitStatus EdgeServerFrontend::submit(core::SuffixRequest request) {
   LP_CHECK(request.done != nullptr);
   LP_CHECK(request.session < sessions_.size());
@@ -77,6 +99,12 @@ core::SubmitStatus EdgeServerFrontend::submit(core::SuffixRequest request) {
   if (down_) {
     // Connection refused: a crashed server cannot even shed politely.
     ++refused_;
+    if (telemetry_ != nullptr) {
+      refused_counter_->add();
+      if (auto* tr = trace())
+        tr->instant(track_, "refuse", sim_->now(),
+                    obs::TraceArgs().arg("session", request.session));
+    }
     return core::SubmitStatus::kDown;
   }
   if (request.bandwidth_bps > 0.0)
@@ -93,6 +121,16 @@ core::SubmitStatus EdgeServerFrontend::submit(core::SuffixRequest request) {
   if (queue_.full() || over_budget) {
     ++shed_;
     ++session.shed;
+    if (telemetry_ != nullptr) {
+      shed_counter_->add();
+      if (auto* tr = trace())
+        tr->instant(track_, "shed", sim_->now(),
+                    obs::TraceArgs()
+                        .arg("session", request.session)
+                        .arg("queue_full", queue_.full())
+                        .arg("predicted_delay_sec",
+                             predicted_queue_delay_sec()));
+    }
     return core::SubmitStatus::kRejected;
   }
 
@@ -114,6 +152,16 @@ core::SubmitStatus EdgeServerFrontend::submit(core::SuffixRequest request) {
   LP_CHECK(queue_.push(job));
   ++admitted_;
   ++session.admitted;
+  if (telemetry_ != nullptr) {
+    admitted_counter_->add();
+    if (auto* tr = trace()) {
+      tr->async_begin(track_, "queue-wait", job.seq, sim_->now(),
+                      obs::TraceArgs()
+                          .arg("session", job.session)
+                          .arg("p", job.p));
+      observe_queue_depth();
+    }
+  }
   work_arrived_.trigger();
   return core::SubmitStatus::kAccepted;
 }
@@ -157,6 +205,17 @@ sim::Task EdgeServerFrontend::execute_batch(std::vector<QueuedJob> batch) {
     if (job.queue_wait_seconds != nullptr)
       *job.queue_wait_seconds = to_seconds(dispatch_time - job.enqueued);
 
+  if (telemetry_ != nullptr) {
+    for (const QueuedJob& job : batch)
+      queue_wait_ms_->record(to_millis(dispatch_time - job.enqueued));
+    batch_occupancy_->record(static_cast<double>(batch.size()));
+    if (auto* tr = trace()) {
+      for (const QueuedJob& job : batch)
+        tr->async_end(track_, "queue-wait", job.seq, dispatch_time);
+      observe_queue_depth();
+    }
+  }
+
   in_flight_sec_ = 0.0;
   for (const QueuedJob& job : batch)
     in_flight_sec_ = std::max(in_flight_sec_, job.predicted_sec);
@@ -175,8 +234,12 @@ sim::Task EdgeServerFrontend::execute_batch(std::vector<QueuedJob> batch) {
     overhead = runtime_.server_partition_base_sec +
                runtime_.server_partition_per_node_sec *
                    static_cast<double>(nodes);
+    const TimeNs prep_begin = sim_->now();
     co_await sim_->delay(seconds(overhead));
     if (epoch_ != epoch) co_return;
+    if (auto* tr = trace())
+      tr->span(track_, "partition-prepare", prep_begin, sim_->now(),
+               obs::TraceArgs().arg("p", p).arg("nodes", nodes));
     for (const QueuedJob& job : batch) {
       Session& session = sessions_[job.session];
       if (session.cache.find(p) == nullptr)
@@ -216,6 +279,15 @@ sim::Task EdgeServerFrontend::execute_batch(std::vector<QueuedJob> batch) {
   if (batch.size() > 1) {
     ++batched_dispatches_;
     batched_jobs_ += batch.size();
+  }
+  if (telemetry_ != nullptr) {
+    served_counter_->add(std::int64_t(batch.size()));
+    if (auto* tr = trace())
+      tr->span(track_, "suffix-exec", begin, finished,
+               obs::TraceArgs()
+                   .arg("batch", batch.size())
+                   .arg("p", p)
+                   .arg("exec_ms", exec * 1e3));
   }
 
   const double predicted = profile.suffix_g(p);
@@ -267,7 +339,11 @@ void EdgeServerFrontend::crash() {
   ++epoch_;  // orphans any execute_batch parked on a suspension point
 
   // Fail-stop: every queued and in-flight job terminates with server-down
-  // right now — a crash never turns into a client-side hang.
+  // right now — a crash never turns into a client-side hang. Queued
+  // casualties still have an open "queue-wait" async interval; close it
+  // here so the trace never leaks unmatched begins (in-flight jobs closed
+  // theirs at dispatch).
+  const std::size_t queued_casualties = queue_.size();
   std::vector<QueuedJob> casualties = queue_.drain();
   if (inflight_ != nullptr) {
     for (const QueuedJob& job : *inflight_) casualties.push_back(job);
@@ -277,6 +353,17 @@ void EdgeServerFrontend::crash() {
     ++failed_jobs_;
     if (job.status != nullptr) *job.status = core::SuffixStatus::kServerDown;
     if (!job.done->triggered()) job.done->trigger();
+  }
+  if (telemetry_ != nullptr) {
+    crash_counter_->add();
+    failed_counter_->add(std::int64_t(casualties.size()));
+    if (auto* tr = trace()) {
+      for (std::size_t i = 0; i < queued_casualties; ++i)
+        tr->async_end(track_, "queue-wait", casualties[i].seq, sim_->now());
+      tr->instant(track_, "crash", sim_->now(),
+                  obs::TraceArgs().arg("failed_jobs", casualties.size()));
+      observe_queue_depth();
+    }
   }
 
   // Volatile state dies with the process: partition caches, k windows,
@@ -294,6 +381,7 @@ void EdgeServerFrontend::crash() {
 void EdgeServerFrontend::restart() {
   if (!down_) return;
   down_ = false;
+  if (auto* tr = trace()) tr->instant(track_, "restart", sim_->now());
   // Nudge the dispatcher in case anything races in right at restart.
   work_arrived_.trigger();
 }

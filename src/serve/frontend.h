@@ -29,6 +29,7 @@
 
 #include "core/offload_runtime.h"
 #include "fault/fault_plan.h"
+#include "obs/telemetry.h"
 #include "serve/queue.h"
 
 namespace lp::serve {
@@ -118,6 +119,15 @@ class EdgeServerFrontend : public core::SuffixService {
   const partition::PartitionCache& session_cache(std::uint64_t session) const;
   double session_bandwidth_bps(std::uint64_t session) const;
 
+  /// Attaches telemetry (null detaches). The frontend then records, on its
+  /// own "frontend" track: admission verdicts (instants), a queue-depth
+  /// counter series, per-job "queue-wait" async intervals keyed by the job
+  /// sequence number (closed at dispatch — or at crash() for casualties),
+  /// "batch" spans tagged with occupancy, and crash/restart instants; plus
+  /// serve.* registry counters mirroring the accessor set above and batch
+  /// occupancy / queue-wait histograms. Purely observational.
+  void set_telemetry(obs::Telemetry* telemetry);
+
  private:
   struct Session {
     const core::GraphCostProfile* profile;
@@ -165,6 +175,23 @@ class EdgeServerFrontend : public core::SuffixService {
   std::uint64_t crashes_ = 0;
   std::uint64_t failed_jobs_ = 0;
   std::uint64_t refused_ = 0;
+
+  // Telemetry (optional; null = fully off). Handles resolved once in
+  // set_telemetry so the submit/dispatch paths stay O(1).
+  obs::TraceRecorder* trace() const {
+    return telemetry_ != nullptr ? telemetry_->trace() : nullptr;
+  }
+  void observe_queue_depth();
+  obs::Telemetry* telemetry_ = nullptr;
+  obs::TrackId track_ = 0;
+  obs::Counter* admitted_counter_ = nullptr;
+  obs::Counter* shed_counter_ = nullptr;
+  obs::Counter* refused_counter_ = nullptr;
+  obs::Counter* served_counter_ = nullptr;
+  obs::Counter* failed_counter_ = nullptr;
+  obs::Counter* crash_counter_ = nullptr;
+  obs::Histogram* batch_occupancy_ = nullptr;
+  obs::Histogram* queue_wait_ms_ = nullptr;
 };
 
 }  // namespace lp::serve

@@ -345,9 +345,9 @@ TEST(FleetDriver, OverloadShedsAndClientsDegradeToLocal) {
   const auto result = run_fleet(overload_fleet(3), bundle());
   EXPECT_GT(result.shed, 0u);
   const auto summary = result.summarize();
-  EXPECT_GT(summary.requests, 0u);
-  EXPECT_GT(summary.degraded, 0u);
-  EXPECT_GT(summary.admitted, 0u);
+  EXPECT_GT(summary.requests(), 0u);
+  EXPECT_GT(summary.degraded(), 0u);
+  EXPECT_GT(summary.admitted(), 0u);
   // Every record carries a consistent outcome: degraded requests ran the
   // suffix on the device and never observed server time.
   for (const auto* rec : result.steady())
@@ -368,8 +368,8 @@ TEST(FleetDriver, AdmissionControlBoundsAdmittedTail) {
 
   const auto open_summary = run_fleet(open, bundle()).summarize();
   const auto guarded_summary = run_fleet(guarded, bundle()).summarize();
-  ASSERT_GT(open_summary.admitted, 0u);
-  ASSERT_GT(guarded_summary.admitted, 0u);
+  ASSERT_GT(open_summary.admitted(), 0u);
+  ASSERT_GT(guarded_summary.admitted(), 0u);
   EXPECT_LT(guarded_summary.admitted_p90_ms, open_summary.admitted_p90_ms);
 }
 
@@ -419,7 +419,7 @@ TEST(FleetDriver, BatchingRaisesServedThroughput) {
   const auto coalesced = run_fleet(batched, bundle());
   EXPECT_EQ(plain.batched_dispatches, 0u);
   EXPECT_GT(coalesced.batched_jobs, 0u);
-  EXPECT_GT(coalesced.summarize().admitted, plain.summarize().admitted);
+  EXPECT_GT(coalesced.summarize().admitted(), plain.summarize().admitted());
 }
 
 TEST(FleetDriver, DegradeBacksOffLoadPartClientsTowardLocal) {
@@ -446,8 +446,8 @@ TEST(FleetDriver, DegradeBacksOffLoadPartClientsTowardLocal) {
 
   const auto result = run_fleet(config, bundle());
   const auto summary = result.summarize();
-  EXPECT_EQ(summary.admitted, 0u);
-  EXPECT_GT(summary.degraded, 0u);
+  EXPECT_EQ(summary.admitted(), 0u);
+  EXPECT_GT(summary.degraded(), 0u);
   // By the end of the run the fleet has retreated to local inference.
   std::size_t n = 0;
   for (const auto& trace : result.clients) {
@@ -485,14 +485,14 @@ TEST(FleetDriver, ServerCrashRecoversLocallyWithoutLosingRequests) {
   const auto summary = result.summarize();
   EXPECT_EQ(result.crashes, 1u);
   EXPECT_GT(result.refused, 0u);  // submissions hit the crashed server
-  ASSERT_GT(summary.requests, 0u);
+  ASSERT_GT(summary.requests(), 0u);
   // With local fallback nothing is lost: every request that met a fault
   // terminated with a typed recovery, and the breaker pinned followers to
   // local while the server was gone.
-  EXPECT_EQ(summary.failed, 0u);
-  EXPECT_GT(summary.recovered, 0u);
-  EXPECT_GT(summary.server_downs, 0u);
-  EXPECT_GT(summary.breaker_forced_local, 0u);
+  EXPECT_EQ(summary.failed(), 0u);
+  EXPECT_GT(summary.recovered(), 0u);
+  EXPECT_GT(summary.server_downs(), 0u);
+  EXPECT_GT(summary.breaker_forced_local(), 0u);
   // Service resumes after restart: requests are admitted again late in
   // the run (the re-warm handshake works against wiped sessions).
   bool admitted_after_restart = false;
@@ -506,8 +506,8 @@ TEST(FleetDriver, ServerCrashRecoversLocallyWithoutLosingRequests) {
 TEST(FleetDriver, FailStopLosesRequestsAcrossTheCrash) {
   const auto result = run_fleet(crashy_fleet(21, false), bundle());
   const auto summary = result.summarize();
-  EXPECT_GT(summary.failed, 0u);
-  EXPECT_EQ(summary.recovered, 0u);
+  EXPECT_GT(summary.failed(), 0u);
+  EXPECT_EQ(summary.recovered(), 0u);
   // Lost requests still terminated (typed, no hang): they carry the
   // server-down taxonomy rather than a latency.
   for (const auto* rec : result.steady())
@@ -549,8 +549,8 @@ TEST(FleetDriver, LegacyConfigsAreUnaffectedByTheFaultLayer) {
   EXPECT_EQ(a.submitted, b.submitted);
   const auto sa = a.summarize(), sb = b.summarize();
   EXPECT_DOUBLE_EQ(sa.mean_ms, sb.mean_ms);
-  EXPECT_EQ(sa.failed, 0u);
-  EXPECT_EQ(sa.recovered, 0u);
+  EXPECT_EQ(sa.failed(), 0u);
+  EXPECT_EQ(sa.recovered(), 0u);
 }
 
 }  // namespace

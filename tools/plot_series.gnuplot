@@ -2,10 +2,10 @@
 #
 # Usage:
 #   LP_CSV_DIR=out ./build/bench/fig9_load_timeseries
-#   gnuplot -e "csv='out/fig9_squeezenet_loadpart.csv'; png='fig9.png'" \
+#   gnuplot -e "csv='out/fig9_squeezenet_loadpart_series.csv'; png='fig9.png'" \
 #       tools/plot_series.gnuplot
 set datafile separator ","
-if (!exists("csv")) csv = "fig9_squeezenet_loadpart.csv"
+if (!exists("csv")) csv = "fig9_squeezenet_loadpart_series.csv"
 if (!exists("png")) png = "series.png"
 set terminal pngcairo size 1100,700
 set output png
