@@ -1,0 +1,116 @@
+#include "check/invariants.h"
+
+#include <cmath>
+#include <string>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace lp::check {
+
+void audit(const serve::RequestQueue& queue) {
+  LP_CHECK(queue.size() <= queue.capacity());
+
+  double recomputed = 0.0;
+  std::unordered_set<std::uint64_t> seqs;
+  for (const serve::QueuedJob& job : queue.jobs()) {
+    LP_CHECK_MSG(std::isfinite(job.predicted_sec) && job.predicted_sec >= 0.0,
+                 "queued prediction must be finite and non-negative");
+    LP_CHECK_MSG(seqs.insert(job.seq).second,
+                 "duplicate arrival sequence in queue");
+    recomputed += job.predicted_sec;
+  }
+  // Exact equality, not a tolerance: the queue maintains the backlog as
+  // the same left-to-right sum this loop just recomputed, so any drift is
+  // an accounting bug (the clamped-subtraction scheme this replaced could
+  // drift by the full magnitude of a job).
+  LP_CHECK_MSG(queue.predicted_backlog_sec() == recomputed,
+               "incremental backlog diverged from recomputed sum: " +
+                   std::to_string(queue.predicted_backlog_sec()) + " vs " +
+                   std::to_string(recomputed));
+}
+
+void audit(const partition::PartitionCache& cache) {
+  LP_CHECK(cache.capacity() > 0);
+  LP_CHECK(cache.size() <= cache.capacity());
+  const auto keys = cache.lru_keys();
+  LP_CHECK_MSG(keys.size() == cache.size(),
+               "LRU list and entry map disagree on occupancy");
+  std::unordered_set<std::size_t> seen;
+  for (std::size_t p : keys) {
+    LP_CHECK_MSG(seen.insert(p).second, "duplicate key in LRU list");
+    const partition::PartitionPlan* plan = cache.peek(p);
+    LP_CHECK_MSG(plan != nullptr, "LRU key missing from entry map");
+    LP_CHECK_MSG(plan->p == p, "plan filed under the wrong partition point");
+  }
+}
+
+void audit(const core::LoadFactorTracker& tracker) {
+  LP_CHECK_MSG(tracker.k() >= 1.0, "constraint 1c: k must be >= 1");
+  LP_CHECK_MSG(tracker.idle_baseline() >= 1.0,
+               "idle baseline must be >= 1");
+  LP_CHECK(std::isfinite(tracker.k()));
+  LP_CHECK(tracker.window_capacity() >= 1);
+  LP_CHECK_MSG(tracker.window_size() <= tracker.window_capacity(),
+               "sliding window exceeded its capacity");
+}
+
+void audit(const net::BandwidthEstimator& estimator) {
+  LP_CHECK_MSG(estimator.estimate() > 0.0 &&
+                   std::isfinite(estimator.estimate()),
+               "bandwidth estimate must be positive and finite");
+}
+
+void audit(const serve::EdgeServerFrontend& frontend) {
+  // Conservation across the admission boundary: every submission was
+  // admitted, shed, or refused-while-down.
+  LP_CHECK_MSG(frontend.submitted() ==
+                   frontend.admitted() + frontend.shed() + frontend.refused(),
+               "submitted != admitted + shed + refused");
+
+  // Conservation across the service: every admitted job has been served,
+  // failed by a crash, or is still queued / on the GPU. Audits run at sim
+  // suspension points, where the dispatch path's counter updates are
+  // atomic, so this holds at every observable instant.
+  LP_CHECK_MSG(frontend.admitted() ==
+                   frontend.served() + frontend.failed_jobs() +
+                       frontend.queue_depth() + frontend.inflight_jobs(),
+               "admitted != served + failed + queued + in-flight");
+
+  LP_CHECK(frontend.queue_depth() == frontend.queue().size());
+  LP_CHECK(frontend.batched_jobs() <= frontend.served());
+  LP_CHECK(frontend.batched_dispatches() <= frontend.dispatches());
+
+  // Fail-stop contract: a crashed server holds no work.
+  if (!frontend.alive()) {
+    LP_CHECK_MSG(frontend.queue_depth() == 0 &&
+                     frontend.inflight_jobs() == 0,
+                 "crashed frontend still holds work");
+  }
+
+  audit(frontend.queue());
+  for (std::uint64_t s = 0; s < frontend.sessions(); ++s) {
+    LP_CHECK(frontend.session_k(s) >= 1.0);
+    audit(frontend.session_tracker(s));
+    audit(frontend.session_cache(s));
+    LP_CHECK(frontend.session_bandwidth_bps(s) > 0.0);
+  }
+}
+
+void ClockMonitor::observe(TimeNs now) {
+  if (observations_ > 0)
+    LP_CHECK_MSG(now >= last_, "simulated clock moved backwards: " +
+                                   std::to_string(last_) + " -> " +
+                                   std::to_string(now));
+  last_ = now;
+  ++observations_;
+}
+
+void FleetAuditor::operator()(const serve::EdgeServerFrontend& frontend,
+                              TimeNs now) {
+  clock_.observe(now);
+  audit(frontend);
+  ++audits_;
+}
+
+}  // namespace lp::check

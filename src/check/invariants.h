@@ -1,0 +1,75 @@
+// Invariant layer (cross-cutting oracle checks).
+//
+// Cheap LP_CHECK-style assertions over the live state machines of the
+// decision and serving planes, compiled in by default and exercised through
+// the check::audit() overload set. Each audit recomputes a quantity the
+// subject maintains incrementally (queue backlog, LRU bookkeeping,
+// request-conservation sums) and throws lp::ContractError on divergence —
+// the differential harness (check/differential.h) and the fuzz driver
+// (tools/check_fuzz) arm these after every operation; tests assert they
+// hold across whole fleet runs.
+#pragma once
+
+#include "common/units.h"
+#include "core/load_factor.h"
+#include "net/estimator.h"
+#include "partition/cache.h"
+#include "serve/frontend.h"
+#include "serve/queue.h"
+
+namespace lp::check {
+
+/// RequestQueue: the incrementally maintained backlog equals (exactly, not
+/// approximately) the left-to-right sum of the queued predictions; the
+/// queue respects its bound; predictions are non-negative and finite;
+/// arrival sequence numbers are unique.
+void audit(const serve::RequestQueue& queue);
+
+/// PartitionCache: the LRU list and the entry map describe the same key
+/// set; occupancy respects capacity; every stored plan is filed under its
+/// own p; eviction/hit/miss counters are mutually consistent with the
+/// occupancy (inserted - evicted == size when inserts are counted by the
+/// caller — here we check the weaker invariants that need no history).
+void audit(const partition::PartitionCache& cache);
+
+/// LoadFactorTracker: published k and idle baseline respect constraint 1c
+/// (>= 1); the sliding window never exceeds its capacity.
+void audit(const core::LoadFactorTracker& tracker);
+
+/// BandwidthEstimator: the estimate is positive and finite.
+void audit(const net::BandwidthEstimator& estimator);
+
+/// EdgeServerFrontend: request conservation —
+///     submitted == admitted + shed + refused
+///     admitted  == served + failed_jobs + queued + in-flight
+/// plus the queue audit, and per-session k / cache / bandwidth audits.
+/// A crashed frontend must hold no queued or in-flight work.
+void audit(const serve::EdgeServerFrontend& frontend);
+
+/// Sim-clock monotonicity: successive observations of a simulator's now()
+/// must never decrease. Feed it from a periodic audit callback.
+class ClockMonitor {
+ public:
+  void observe(TimeNs now);
+  TimeNs last() const { return last_; }
+  std::uint64_t observations() const { return observations_; }
+
+ private:
+  TimeNs last_ = 0;
+  std::uint64_t observations_ = 0;
+};
+
+/// Ready-made serve::FleetConfig::on_audit callback: every frontend
+/// invariant plus clock monotonicity, counting how often it fired so tests
+/// can prove the audits actually ran.
+class FleetAuditor {
+ public:
+  void operator()(const serve::EdgeServerFrontend& frontend, TimeNs now);
+  std::uint64_t audits() const { return audits_; }
+
+ private:
+  ClockMonitor clock_;
+  std::uint64_t audits_ = 0;
+};
+
+}  // namespace lp::check

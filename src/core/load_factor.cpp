@@ -32,6 +32,10 @@ double LoadFactorTracker::idle_baseline() const {
 void LoadFactorTracker::reset_idle() {
   ratios_.clear();
   ratios_.add(idle_baseline());
+  // The monitoring period restarts with the reset: a periodic reporter
+  // reading records() right after must not see the pre-reset count (the
+  // re-seeded baseline is a synthetic sample, not a measurement).
+  records_ = 0;
 }
 
 }  // namespace lp::core

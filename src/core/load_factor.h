@@ -45,7 +45,13 @@ class LoadFactorTracker {
   /// Mean ratio of recent uncontended executions (>= 1); 1 if none yet.
   double idle_baseline() const;
 
+  /// Measurements recorded in the current monitoring period — i.e. since
+  /// construction or the last reset_idle(), which restarts the period.
   std::uint64_t records() const { return records_; }
+
+  /// Samples currently held in the loaded-ratio window (<= window_capacity).
+  std::size_t window_size() const { return ratios_.size(); }
+  std::size_t window_capacity() const { return ratios_.capacity(); }
 
  private:
   SlidingWindow ratios_;

@@ -20,7 +20,9 @@ class BandwidthEstimator {
   explicit BandwidthEstimator(std::size_t window = 8,
                               BitsPerSec initial = mbps(8));
 
-  /// Records a measured transfer (bytes over duration).
+  /// Records a measured transfer (bytes over duration). A zero duration —
+  /// the sim clock rounding a tiny probe to 0 ns — is dropped (it has no
+  /// bandwidth information); negative durations are contract violations.
   void add_transfer(std::int64_t bytes, DurationNs duration);
 
   /// Records an explicit bandwidth sample.

@@ -8,6 +8,11 @@ PartitionCache::PartitionCache(std::size_t capacity) : capacity_(capacity) {
   LP_CHECK(capacity > 0);
 }
 
+const PartitionPlan* PartitionCache::peek(std::size_t p) const {
+  auto it = entries_.find(p);
+  return it == entries_.end() ? nullptr : &it->second.plan;
+}
+
 const PartitionPlan* PartitionCache::find(std::size_t p) {
   auto it = entries_.find(p);
   if (it == entries_.end()) {
@@ -47,9 +52,20 @@ double PartitionCache::hit_rate() const {
                     : static_cast<double>(hits_) / static_cast<double>(total);
 }
 
+std::vector<std::size_t> PartitionCache::lru_keys() const {
+  return std::vector<std::size_t>(lru_.begin(), lru_.end());
+}
+
+void PartitionCache::reset_stats() {
+  hits_ = 0;
+  misses_ = 0;
+  evictions_ = 0;
+}
+
 void PartitionCache::clear() {
   entries_.clear();
   lru_.clear();
+  reset_stats();
 }
 
 }  // namespace lp::partition

@@ -9,6 +9,7 @@
 #include <cstddef>
 #include <list>
 #include <unordered_map>
+#include <vector>
 
 #include "partition/partitioner.h"
 
@@ -22,16 +23,31 @@ class PartitionCache {
   /// Returns the cached plan for p, refreshing its recency; nullptr on miss.
   const PartitionPlan* find(std::size_t p);
 
+  /// Side-effect-free lookup: no recency refresh, no hit/miss accounting.
+  /// For invariant audits and tests that must observe without perturbing.
+  const PartitionPlan* peek(std::size_t p) const;
+
   /// Inserts (or replaces) the plan for plan.p, evicting the least recently
   /// used entry if over capacity.
   void insert(PartitionPlan plan);
 
   std::size_t size() const { return entries_.size(); }
+  std::size_t capacity() const { return capacity_; }
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
   std::uint64_t evictions() const { return evictions_; }
   double hit_rate() const;
 
+  /// Keys in recency order (most recent first); for audits and tests.
+  std::vector<std::size_t> lru_keys() const;
+
+  /// Zeroes hits/misses/evictions without touching the entries. Called on
+  /// session wipe so a re-warmed cache's hit_rate() never blends pre-crash
+  /// traffic into the fresh epoch.
+  void reset_stats();
+
+  /// Drops every entry AND the statistics: a cleared cache is
+  /// indistinguishable from a newly constructed one.
   void clear();
 
  private:

@@ -32,6 +32,16 @@ sim::Task client_stream(sim::Simulator& sim, core::OffloadClient& client,
   }
 }
 
+sim::Task audit_driver(
+    sim::Simulator& sim, const EdgeServerFrontend& fe,
+    const std::function<void(const EdgeServerFrontend&, TimeNs)>& on_audit,
+    DurationNs period) {
+  for (;;) {
+    co_await sim.delay(period);
+    on_audit(fe, sim.now());
+  }
+}
+
 }  // namespace
 
 std::vector<const core::InferenceRecord*> FleetResult::steady(
@@ -237,7 +247,14 @@ FleetResult run_fleet(const FleetConfig& config,
     }
   }
 
+  if (config.on_audit) {
+    LP_CHECK(config.audit_period > 0);
+    sim.spawn(audit_driver(sim, frontend, config.on_audit,
+                           config.audit_period));
+  }
+
   sim.run_until(config.duration);
+  if (config.on_audit) config.on_audit(frontend, sim.now());
 
   result.submitted = frontend.submitted();
   result.admitted = frontend.admitted();

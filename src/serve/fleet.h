@@ -9,6 +9,7 @@
 // frontend-level counters. Deterministic given config.seed.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -59,6 +60,15 @@ struct FleetConfig {
   /// the run. Null (default) = fully off: the run is bit-identical to one
   /// without telemetry. Must outlive run_fleet().
   obs::Telemetry* telemetry = nullptr;
+
+  /// Invariant auditing hook (the check subsystem arms it): when set, the
+  /// callback runs against the live frontend every audit_period of sim
+  /// time (receiving the current sim clock, so the auditor can also assert
+  /// clock monotonicity) and once more after the run. The callback must be
+  /// purely observational; with it unset the run is bit-identical to
+  /// before the hook existed.
+  std::function<void(const EdgeServerFrontend&, TimeNs)> on_audit;
+  DurationNs audit_period = seconds(1);
 };
 
 /// The record stream of one client, tagged with its tenant index.

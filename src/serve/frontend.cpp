@@ -56,6 +56,12 @@ const partition::PartitionCache& EdgeServerFrontend::session_cache(
   return sessions_[session].cache;
 }
 
+const core::LoadFactorTracker& EdgeServerFrontend::session_tracker(
+    std::uint64_t session) const {
+  LP_CHECK(session < sessions_.size());
+  return sessions_[session].k;
+}
+
 double EdgeServerFrontend::session_bandwidth_bps(
     std::uint64_t session) const {
   LP_CHECK(session < sessions_.size());
@@ -366,13 +372,16 @@ void EdgeServerFrontend::crash() {
     }
   }
 
-  // Volatile state dies with the process: partition caches, k windows,
-  // bandwidth windows, and the in-flight estimate. Sessions survive (they
-  // are the registration, not the state) and re-warm through the ordinary
-  // profiler handshake after restart().
+  // Volatile state dies with the process: partition caches (entries AND
+  // hit/miss statistics — a re-warmed cache must not blend pre-crash
+  // traffic into its hit_rate), k windows, bandwidth windows, and the
+  // in-flight estimate. Sessions survive (they are the registration, not
+  // the state) and re-warm through the ordinary profiler handshake after
+  // restart().
   for (Session& session : sessions_) {
     session.k = core::LoadFactorTracker(runtime_.k_window);
-    session.cache = partition::PartitionCache(runtime_.cache_capacity);
+    session.cache.clear();
+    session.cache.reset_stats();
     session.bandwidth = net::BandwidthEstimator(runtime_.bandwidth_window);
   }
   in_flight_sec_ = 0.0;

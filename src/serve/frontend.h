@@ -117,7 +117,17 @@ class EdgeServerFrontend : public core::SuffixService {
   std::uint64_t refused() const { return refused_; }
 
   const partition::PartitionCache& session_cache(std::uint64_t session) const;
+  const core::LoadFactorTracker& session_tracker(std::uint64_t session) const;
   double session_bandwidth_bps(std::uint64_t session) const;
+
+  /// The request queue itself — read-only, for the invariant layer
+  /// (check::audit recomputes the backlog and conservation sums from it).
+  const RequestQueue& queue() const { return queue_; }
+
+  /// Jobs currently dispatched on the GPU (0 when the dispatcher is idle).
+  std::size_t inflight_jobs() const {
+    return inflight_ != nullptr ? inflight_->size() : 0;
+  }
 
   /// Attaches telemetry (null detaches). The frontend then records, on its
   /// own "frontend" track: admission verdicts (instants), a queue-depth

@@ -50,6 +50,17 @@ bool RequestQueue::before(const QueuedJob& a, const QueuedJob& b) const {
   return a.seq < b.seq;
 }
 
+// Exact backlog accounting: push extends the left-to-right sum (the same
+// operation a full recompute would end with), and removals recompute it
+// from the survivors instead of subtracting — floating-point subtraction
+// drifts when jobs leave in a different order than they arrived (EDF/SPJF),
+// and the old max(0, ...) clamp silently hid the sign errors.
+double RequestQueue::recompute_backlog() const {
+  double total = 0.0;
+  for (const QueuedJob& job : jobs_) total += job.predicted_sec;
+  return total;
+}
+
 QueuedJob RequestQueue::pop_next() {
   LP_CHECK(!jobs_.empty());
   std::size_t best = 0;
@@ -57,7 +68,7 @@ QueuedJob RequestQueue::pop_next() {
     if (before(jobs_[i], jobs_[best])) best = i;
   QueuedJob job = jobs_[best];
   jobs_.erase(jobs_.begin() + static_cast<std::ptrdiff_t>(best));
-  backlog_sec_ = std::max(0.0, backlog_sec_ - job.predicted_sec);
+  backlog_sec_ = recompute_backlog();
   return job;
 }
 
@@ -68,7 +79,6 @@ void RequestQueue::take_matching(const core::GraphCostProfile* profile,
   std::size_t taken = 0;
   for (std::size_t i = 0; i < jobs_.size() && taken < limit;) {
     if (jobs_[i].profile == profile && jobs_[i].p == p) {
-      backlog_sec_ = std::max(0.0, backlog_sec_ - jobs_[i].predicted_sec);
       out->push_back(jobs_[i]);
       jobs_.erase(jobs_.begin() + static_cast<std::ptrdiff_t>(i));
       ++taken;
@@ -76,6 +86,7 @@ void RequestQueue::take_matching(const core::GraphCostProfile* profile,
       ++i;
     }
   }
+  if (taken > 0) backlog_sec_ = recompute_backlog();
 }
 
 std::vector<QueuedJob> RequestQueue::drain() {

@@ -79,10 +79,18 @@ class RequestQueue {
 
   /// Sum of the predicted execution times of everything queued — the
   /// admission controller's estimate of the backlog ahead of a new arrival.
+  /// Exact: maintained as the left-to-right sum over the queued jobs (a
+  /// removal recomputes rather than subtracting), so it always equals
+  /// what summing jobs() directly yields — check::audit asserts this.
   double predicted_backlog_sec() const { return backlog_sec_; }
+
+  /// Queued jobs in arrival order (audits and tests; do not mutate through
+  /// the out-pointers).
+  const std::vector<QueuedJob>& jobs() const { return jobs_; }
 
  private:
   bool before(const QueuedJob& a, const QueuedJob& b) const;
+  double recompute_backlog() const;
 
   QueuePolicy policy_;
   std::size_t capacity_;

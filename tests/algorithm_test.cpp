@@ -1,6 +1,10 @@
 #include "common/check.h"
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
+#include "check/generators.h"
 #include "common/rng.h"
 #include "core/algorithm.h"
 #include "core/baselines.h"
@@ -34,6 +38,47 @@ TEST(Algorithm1, TieBreaksTowardLargerP) {
   const std::vector<double> g{0.0, 0.0, 0.0};
   const std::vector<std::int64_t> s{0, 0, 0};
   EXPECT_EQ(partition_decision(f, g, s, mbps(8), 0.0).p, 2u);
+}
+
+TEST(Algorithm1, InteriorTieKeepsLatestMinimizer) {
+  // t_0 = g1 + g2 = 1, t_1 = f1 + g2 = 1, t_2 = f1 + f2 = 2: p = 0 and
+  // p = 1 tie and local is worse; the `<=` keeps the later minimizer p = 1.
+  const std::vector<double> f{0.0, 1.0, 1.0};
+  const std::vector<double> g{0.0, 1.0, 0.0};
+  const std::vector<std::int64_t> s{0, 0, 0};
+  EXPECT_EQ(partition_decision(f, g, s, mbps(8), 0.0).p, 1u);
+}
+
+TEST(Algorithm1, AllImplementationsBreakTiesIdentically) {
+  // Exact full-spectrum tie: FLOPs-proportional predictors with
+  // power-of-two coefficients make f(L_i) == k * g_base(L_i) exactly at
+  // k = 2 (every term is an integer FLOP count scaled by a power of two,
+  // so sums are exact), and infinite bandwidth zeroes the transfer term.
+  // Every t_p is then bit-identical, and all three implementations must
+  // resolve the n+1-way tie the same way: the `<=` keeps p = n (local).
+  const auto g = models::make_model("alexnet");
+  const core::PredictorBundle synthetic = lp::check::synthetic_bundle(
+      std::ldexp(1.0, -30), std::ldexp(1.0, -31));
+  const GraphCostProfile profile(g, synthetic);
+  const double k = 2.0;
+  const double bw = std::numeric_limits<double>::infinity();
+
+  const auto fast = decide(profile, k, bw);
+  const auto slow = decide_brute_force(profile, k, bw);
+  std::vector<double> fv(profile.n() + 1), gk(profile.n() + 1);
+  std::vector<std::int64_t> sv(profile.n() + 1);
+  for (std::size_t i = 0; i <= profile.n(); ++i) {
+    fv[i] = profile.f(i);
+    gk[i] = k * profile.g_base(i);
+    sv[i] = profile.s(i);
+  }
+  const auto verbatim = partition_decision(fv, gk, sv, bw, 0.0);
+
+  EXPECT_EQ(fast.p, g.n());
+  EXPECT_EQ(slow.p, g.n());
+  EXPECT_EQ(verbatim.p, g.n());
+  EXPECT_EQ(fast.predicted_latency, slow.predicted_latency);
+  EXPECT_EQ(fast.predicted_latency, verbatim.predicted_latency);
 }
 
 TEST(Algorithm1, DownloadTermIncludedWhenRequested) {

@@ -162,5 +162,16 @@ TEST(Estimator, RejectsNonPositive) {
   EXPECT_THROW(est.add_transfer(0, seconds(1)), ContractError);
 }
 
+TEST(Estimator, ZeroDurationTransferDroppedNotFatal) {
+  // The coarse simulated clock can round a tiny probe's transfer time down
+  // to 0 ns; such a sample carries no bandwidth information (it would
+  // divide to infinity), so it is dropped — not treated as a contract
+  // violation that crashes the client mid-inference.
+  BandwidthEstimator est(4, mbps(8));
+  EXPECT_NO_THROW(est.add_transfer(1024, 0));
+  EXPECT_DOUBLE_EQ(est.estimate(), mbps(8));  // still the seed estimate
+  EXPECT_THROW(est.add_transfer(1024, -1), ContractError);
+}
+
 }  // namespace
 }  // namespace lp::net

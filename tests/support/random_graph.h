@@ -1,83 +1,22 @@
 // Random computation-graph generator for property tests.
 //
-// Produces small, well-formed DAGs mixing chains, residual forks (Add),
-// and concat branches, with realistic-but-tiny shapes so the reference
-// interpreter stays fast. Deterministic given the seed.
+// Thin forwarding shim: the generator itself moved to check/generators.h so
+// the property tests and the differential/fuzz harness draw from the same
+// distribution (same seed -> same graph in both).
 #pragma once
 
-#include <vector>
-
-#include "common/rng.h"
+#include "check/generators.h"
 #include "graph/graph.h"
 
 namespace lp::test {
 
-struct RandomGraphOptions {
-  int min_blocks = 2;
-  int max_blocks = 6;
-  std::int64_t spatial = 8;  // starting H=W
-  std::int64_t channels = 4;
-};
+using RandomGraphOptions = check::GraphGenOptions;
 
 /// Builds a random DAG; the distribution covers chains, 2-way residual
 /// blocks and 2-way concat blocks with conv/pool/activation/bn bodies.
 inline graph::Graph random_graph(std::uint64_t seed,
                                  RandomGraphOptions options = {}) {
-  Rng rng(seed);
-  graph::GraphBuilder b("random_" + std::to_string(seed));
-  auto x = b.input({1, options.channels, options.spatial, options.spatial});
-
-  auto activation = [&](graph::NodeId id) {
-    switch (rng.uniform_int(0, 3)) {
-      case 0:
-        return b.relu(id);
-      case 1:
-        return b.sigmoid(id);
-      case 2:
-        return b.tanh(id);
-      default:
-        return id;  // no activation
-    }
-  };
-
-  const int blocks = static_cast<int>(
-      rng.uniform_int(options.min_blocks, options.max_blocks));
-  for (int i = 0; i < blocks; ++i) {
-    const auto c = b.desc(x).shape.c();
-    switch (rng.uniform_int(0, 3)) {
-      case 0: {  // plain conv chain
-        x = b.conv2d(x, c, 3, 1, 1, rng.bernoulli(0.5));
-        x = activation(x);
-        break;
-      }
-      case 1: {  // residual fork
-        auto y = b.conv2d(x, c, 3, 1, 1, false);
-        y = b.batchnorm(y);
-        y = activation(y);
-        x = b.add(y, x);
-        break;
-      }
-      case 2: {  // concat fork (doubles channels)
-        auto l = b.conv2d(x, c, 1, 1, 0, true);
-        auto r = b.conv2d(x, c, 3, 1, 1, true);
-        x = b.concat({activation(l), activation(r)});
-        break;
-      }
-      default: {  // pool (only while the map is big enough)
-        if (b.desc(x).shape.h() >= 4) {
-          x = rng.bernoulli(0.5) ? b.maxpool(x, 2, 2) : b.avgpool(x, 2, 2);
-        } else {
-          x = b.relu(x);
-        }
-        break;
-      }
-    }
-  }
-  if (rng.bernoulli(0.5)) {
-    x = b.flatten(x);
-    x = b.fc(x, 1 + static_cast<std::int64_t>(rng.uniform_int(1, 8)));
-  }
-  return b.build(x);
+  return check::random_graph(seed, options);
 }
 
 }  // namespace lp::test
