@@ -90,8 +90,8 @@ ModeResult run_mode(const std::string& name,
   m.failed = summary.failed();
   m.retries = summary.retries();
   m.breaker_forced = summary.breaker_forced_local();
-  m.crashes = result.crashes;
-  m.refused = result.refused;
+  m.crashes = result.frontend.crashes;
+  m.refused = result.frontend.refused;
   m.mean_ms = summary.mean_ms;
 
   std::vector<double> all_ms, crash_ms;

@@ -145,9 +145,10 @@ void batching_comparison(const core::PredictorBundle& bundle,
     const auto s = result.summarize();
     const double steady_sec = to_seconds(result.duration - result.warmup);
     const double batched_share =
-        result.served > 0 ? 100.0 * static_cast<double>(result.batched_jobs) /
-                                static_cast<double>(result.served)
-                          : 0.0;
+        result.frontend.served > 0
+            ? 100.0 * static_cast<double>(result.frontend.batched_jobs) /
+                  static_cast<double>(result.frontend.served)
+            : 0.0;
     const std::string label =
         max_batch == 1 ? std::string("no batching")
                        : "batch <= " + std::to_string(max_batch) + ", 2 ms";
@@ -156,10 +157,10 @@ void batching_comparison(const core::PredictorBundle& bundle,
     table.add_row({label, Table::num(served_per_sec, 1),
                    Table::num(s.admitted_p90_ms),
                    Table::num(batched_share, 1) + "%",
-                   std::to_string(result.dispatches)});
+                   std::to_string(result.frontend.dispatches)});
     section.add_row({label, served_per_sec, s.admitted_p90_ms,
                      batched_share / 100.0,
-                     static_cast<std::size_t>(result.dispatches)});
+                     static_cast<std::size_t>(result.frontend.dispatches)});
   }
   table.print();
   std::printf(

@@ -71,29 +71,38 @@ int main(int argc, char** argv) {
   std::printf(
       "\nFrontend: %llu submitted, %llu admitted, %llu shed; %llu GPU "
       "dispatches (%llu batched covering %llu requests)\n",
-      static_cast<unsigned long long>(result.submitted),
-      static_cast<unsigned long long>(result.admitted),
-      static_cast<unsigned long long>(result.shed),
-      static_cast<unsigned long long>(result.dispatches),
-      static_cast<unsigned long long>(result.batched_dispatches),
-      static_cast<unsigned long long>(result.batched_jobs));
+      static_cast<unsigned long long>(result.frontend.submitted),
+      static_cast<unsigned long long>(result.frontend.admitted),
+      static_cast<unsigned long long>(result.frontend.shed),
+      static_cast<unsigned long long>(result.frontend.dispatches),
+      static_cast<unsigned long long>(result.frontend.batched_dispatches),
+      static_cast<unsigned long long>(result.frontend.batched_jobs));
   std::printf(
       "Expected: some requests shed and finished on-device (k rises via "
       "the reject backoff), admitted requests hold the 250 ms SLO, and a "
       "visible share of dispatches are coalesced batches.\n");
 
+  // An unwritable output path is a hard error: scripts piping these files
+  // into CI diffs must fail loudly, not read a stale artifact.
+  int status = 0;
   if (!trace_path.empty()) {
-    if (telemetry.trace()->write_chrome_json(trace_path))
+    if (telemetry.trace()->write_chrome_json(trace_path)) {
       std::printf("\n[trace written to %s — load it in chrome://tracing]\n",
                   trace_path.c_str());
-    else
-      std::printf("\n[failed to write trace to %s]\n", trace_path.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write trace to '%s'\n",
+                   trace_path.c_str());
+      status = 1;
+    }
   }
   if (!metrics_path.empty()) {
-    if (telemetry.metrics().write_json(metrics_path))
+    if (telemetry.metrics().write_json(metrics_path)) {
       std::printf("[metrics written to %s]\n", metrics_path.c_str());
-    else
-      std::printf("[failed to write metrics to %s]\n", metrics_path.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write metrics to '%s'\n",
+                   metrics_path.c_str());
+      status = 1;
+    }
   }
-  return 0;
+  return status;
 }

@@ -310,11 +310,11 @@ void fleet_case(std::uint64_t seed, int level) {
   const serve::FleetResult result = serve::run_fleet(config, bundle);
 
   LP_CHECK_MSG(auditor.audits() > 0, "fleet audit hook never fired");
-  LP_CHECK_MSG(result.submitted ==
-                   result.admitted + result.shed + result.refused,
+  LP_CHECK_MSG(result.frontend.submitted ==
+                   result.frontend.admitted + result.frontend.shed + result.frontend.refused,
                "end-of-run conservation: submitted != admitted+shed+refused");
-  LP_CHECK(result.served + result.failed_jobs <= result.admitted);
-  LP_CHECK(result.batched_jobs <= result.served);
+  LP_CHECK(result.frontend.served + result.frontend.failed_jobs <= result.frontend.admitted);
+  LP_CHECK(result.frontend.batched_jobs <= result.frontend.served);
 }
 
 void run_case(CaseKind kind, std::uint64_t seed, int level) {

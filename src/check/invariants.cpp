@@ -9,7 +9,11 @@
 namespace lp::check {
 
 void audit(const serve::RequestQueue& queue) {
-  LP_CHECK(queue.size() <= queue.capacity());
+  // Migrated jobs bypass the bound (they were admitted once on their origin
+  // server and must not be dropped), so the queue may exceed capacity by
+  // exactly the migrated jobs still parked in it.
+  LP_CHECK_MSG(queue.size() - queue.migrated_in_queue() <= queue.capacity(),
+               "queue exceeds capacity beyond its migrated-in allowance");
 
   double recomputed = 0.0;
   std::unordered_set<std::uint64_t> seqs;
@@ -62,29 +66,37 @@ void audit(const net::BandwidthEstimator& estimator) {
 }
 
 void audit(const serve::EdgeServerFrontend& frontend) {
+  // One coherent snapshot: the audit reads the same view a cluster
+  // heartbeat carries, so the invariant checked here is exactly the one
+  // the router's placement decisions rely on.
+  const serve::LoadSnapshot s = frontend.load_snapshot();
+
   // Conservation across the admission boundary: every submission was
   // admitted, shed, or refused-while-down.
-  LP_CHECK_MSG(frontend.submitted() ==
-                   frontend.admitted() + frontend.shed() + frontend.refused(),
+  LP_CHECK_MSG(s.submitted == s.admitted + s.shed + s.refused,
                "submitted != admitted + shed + refused");
 
-  // Conservation across the service: every admitted job has been served,
-  // failed by a crash, or is still queued / on the GPU. Audits run at sim
-  // suspension points, where the dispatch path's counter updates are
-  // atomic, so this holds at every observable instant.
-  LP_CHECK_MSG(frontend.admitted() ==
-                   frontend.served() + frontend.failed_jobs() +
-                       frontend.queue_depth() + frontend.inflight_jobs(),
-               "admitted != served + failed + queued + in-flight");
+  // Conservation across the service, migration included: every job this
+  // server took responsibility for (admitted here or imported via session
+  // migration) has been served, failed, handed to another server, or is
+  // still queued / on the GPU. Audits run at sim suspension points, where
+  // the dispatch path's counter updates are atomic, so this holds at every
+  // observable instant.
+  LP_CHECK_MSG(s.admitted + s.migrated_in ==
+                   s.served + s.failed_jobs + s.queue_depth +
+                       s.inflight_jobs + s.migrated_out,
+               "admitted + migrated_in != "
+               "served + failed + queued + in-flight + migrated_out");
 
-  LP_CHECK(frontend.queue_depth() == frontend.queue().size());
-  LP_CHECK(frontend.batched_jobs() <= frontend.served());
-  LP_CHECK(frontend.batched_dispatches() <= frontend.dispatches());
+  LP_CHECK(s.queue_depth == frontend.queue().size());
+  LP_CHECK(s.inflight_jobs == frontend.inflight_jobs());
+  LP_CHECK(s.batched_jobs <= s.served);
+  LP_CHECK(s.batched_dispatches <= s.dispatches);
+  LP_CHECK(s.alive == frontend.alive());
 
   // Fail-stop contract: a crashed server holds no work.
-  if (!frontend.alive()) {
-    LP_CHECK_MSG(frontend.queue_depth() == 0 &&
-                     frontend.inflight_jobs() == 0,
+  if (!s.alive) {
+    LP_CHECK_MSG(s.queue_depth == 0 && s.inflight_jobs == 0,
                  "crashed frontend still holds work");
   }
 
@@ -95,6 +107,69 @@ void audit(const serve::EdgeServerFrontend& frontend) {
     audit(frontend.session_cache(s));
     LP_CHECK(frontend.session_bandwidth_bps(s) > 0.0);
   }
+}
+
+void audit(const cluster::ClusterRouter& router) {
+  std::uint64_t admitted = 0, settled = 0;
+  std::uint64_t migrated_out = 0, migrated_in = 0;
+  for (std::size_t i = 0; i < router.servers(); ++i) {
+    const serve::EdgeServerFrontend& frontend = router.server(i);
+    audit(frontend);
+    const serve::LoadSnapshot s = frontend.load_snapshot();
+    admitted += s.admitted;
+    settled += s.served + s.failed_jobs + s.queue_depth + s.inflight_jobs;
+    migrated_out += s.migrated_out;
+    migrated_in += s.migrated_in;
+  }
+  // Cluster-wide conservation: the per-server migration terms cancel
+  // except for jobs currently riding a transfer between servers.
+  LP_CHECK_MSG(admitted == settled + router.in_transit_jobs(),
+               "cluster conservation: sum(admitted) != "
+               "sum(served + failed + queued + in-flight) + in-transit");
+  LP_CHECK_MSG(migrated_out - migrated_in == router.in_transit_jobs(),
+               "migration ledgers out of balance with the in-transit count");
+}
+
+namespace {
+
+void audit_equal(const SlidingWindow::Snapshot& a,
+                 const SlidingWindow::Snapshot& b, const char* what) {
+  LP_CHECK_MSG(a.values.size() == b.values.size(),
+               std::string(what) + ": window sizes differ");
+  for (std::size_t i = 0; i < a.values.size(); ++i)
+    LP_CHECK_MSG(a.values[i] == b.values[i],
+                 std::string(what) + ": window values differ");
+  // Bit-identity includes the incrementally maintained sum: a restore that
+  // replayed add() would recompute it and drift from the FP-subtraction
+  // history the source window carried.
+  LP_CHECK_MSG(a.sum == b.sum, std::string(what) + ": window sums differ");
+}
+
+}  // namespace
+
+void audit_equal(const serve::SessionState& a, const serve::SessionState& b) {
+  audit_equal(a.k.ratios, b.k.ratios, "k ratios");
+  audit_equal(a.k.idle_ratios, b.k.idle_ratios, "k idle ratios");
+  LP_CHECK_MSG(a.k.records == b.k.records, "k record counts differ");
+  audit_equal(a.bandwidth.window, b.bandwidth.window, "bandwidth");
+
+  LP_CHECK_MSG(a.cache.plans.size() == b.cache.plans.size(),
+               "cache occupancy differs");
+  for (std::size_t i = 0; i < a.cache.plans.size(); ++i) {
+    const partition::PartitionPlan& pa = a.cache.plans[i];
+    const partition::PartitionPlan& pb = b.cache.plans[i];
+    LP_CHECK_MSG(pa.p == pb.p, "cache recency order differs");
+    LP_CHECK_MSG(pa.boundary == pb.boundary, "plan boundaries differ");
+    LP_CHECK_MSG(pa.boundary_bytes == pb.boundary_bytes,
+                 "plan boundary sizes differ");
+    LP_CHECK_MSG(pa.device_part.has_value() == pb.device_part.has_value() &&
+                     pa.server_part.has_value() == pb.server_part.has_value(),
+                 "plan segment presence differs");
+  }
+  LP_CHECK_MSG(a.cache.hits == b.cache.hits &&
+                   a.cache.misses == b.cache.misses &&
+                   a.cache.evictions == b.cache.evictions,
+               "cache statistics differ");
 }
 
 void ClockMonitor::observe(TimeNs now) {
@@ -110,6 +185,13 @@ void FleetAuditor::operator()(const serve::EdgeServerFrontend& frontend,
                               TimeNs now) {
   clock_.observe(now);
   audit(frontend);
+  ++audits_;
+}
+
+void ClusterAuditor::operator()(const cluster::ClusterRouter& router,
+                                TimeNs now) {
+  clock_.observe(now);
+  audit(router);
   ++audits_;
 }
 

@@ -10,6 +10,7 @@
 // hold across whole fleet runs.
 #pragma once
 
+#include "cluster/router.h"
 #include "common/units.h"
 #include "core/load_factor.h"
 #include "net/estimator.h"
@@ -21,8 +22,9 @@ namespace lp::check {
 
 /// RequestQueue: the incrementally maintained backlog equals (exactly, not
 /// approximately) the left-to-right sum of the queued predictions; the
-/// queue respects its bound; predictions are non-negative and finite;
-/// arrival sequence numbers are unique.
+/// queue respects its bound up to the migrated-in allowance (jobs that
+/// arrived via push_migrated bypass the capacity check); predictions are
+/// non-negative and finite; arrival sequence numbers are unique.
 void audit(const serve::RequestQueue& queue);
 
 /// PartitionCache: the LRU list and the entry map describe the same key
@@ -39,12 +41,29 @@ void audit(const core::LoadFactorTracker& tracker);
 /// BandwidthEstimator: the estimate is positive and finite.
 void audit(const net::BandwidthEstimator& estimator);
 
-/// EdgeServerFrontend: request conservation —
+/// EdgeServerFrontend: request conservation over its LoadSnapshot —
 ///     submitted == admitted + shed + refused
-///     admitted  == served + failed_jobs + queued + in-flight
+///     admitted + migrated_in
+///               == served + failed_jobs + queued + in-flight + migrated_out
 /// plus the queue audit, and per-session k / cache / bandwidth audits.
 /// A crashed frontend must hold no queued or in-flight work.
 void audit(const serve::EdgeServerFrontend& frontend);
+
+/// ClusterRouter: every per-server frontend audit, plus cluster-wide
+/// request conservation — across all servers, every admitted job is
+/// served, failed, queued, in flight on a GPU, or riding a migration
+/// transfer:
+///     sum(admitted) == sum(served + failed + queued + in-flight)
+///                      + in_transit_jobs
+/// and the migration ledgers balance the in-transit count exactly:
+///     sum(migrated_out) - sum(migrated_in) == in_transit_jobs.
+void audit(const cluster::ClusterRouter& router);
+
+/// Migration round-trip equivalence: the two session-state snapshots must
+/// be bit-identical (same window values *and* incrementally-maintained
+/// sums, same cache plans/recency/statistics, same record counts) — the
+/// export→import→export property cluster_test pins on live frontends.
+void audit_equal(const serve::SessionState& a, const serve::SessionState& b);
 
 /// Sim-clock monotonicity: successive observations of a simulator's now()
 /// must never decrease. Feed it from a periodic audit callback.
@@ -65,6 +84,18 @@ class ClockMonitor {
 class FleetAuditor {
  public:
   void operator()(const serve::EdgeServerFrontend& frontend, TimeNs now);
+  std::uint64_t audits() const { return audits_; }
+
+ private:
+  ClockMonitor clock_;
+  std::uint64_t audits_ = 0;
+};
+
+/// Ready-made cluster::ClusterConfig::on_audit callback: the cluster-wide
+/// conservation audit plus clock monotonicity, counting its firings.
+class ClusterAuditor {
+ public:
+  void operator()(const cluster::ClusterRouter& router, TimeNs now);
   std::uint64_t audits() const { return audits_; }
 
  private:

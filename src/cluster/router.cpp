@@ -1,0 +1,306 @@
+#include "cluster/router.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+
+namespace lp::cluster {
+
+std::string placement_name(Placement placement) {
+  switch (placement) {
+    case Placement::kConsistentHash:
+      return "consistent-hash";
+    case Placement::kLeastLoaded:
+      return "least-loaded";
+  }
+  return "?";
+}
+
+ClusterRouter::ClusterRouter(sim::Simulator& sim,
+                             std::vector<serve::EdgeServerFrontend*> servers,
+                             RouterParams params)
+    : sim_(&sim),
+      servers_(std::move(servers)),
+      params_(params),
+      ring_(params.vnodes),
+      homed_(servers_.size(), 0) {
+  LP_CHECK(!servers_.empty());
+  for (serve::EdgeServerFrontend* server : servers_)
+    LP_CHECK(server != nullptr);
+  for (std::size_t i = 0; i < servers_.size(); ++i) ring_.add_server(i);
+}
+
+std::uint64_t ClusterRouter::open_session(
+    const core::GraphCostProfile& profile) {
+  const std::uint64_t session = bindings_.size();
+  // Register on every server in lock-step so the local id equals the
+  // cluster id everywhere — a migration imports into a session that
+  // already exists, and the id never needs translating.
+  for (serve::EdgeServerFrontend* server : servers_) {
+    const std::uint64_t local = server->open_session(profile);
+    LP_CHECK(local == session);
+  }
+
+  std::size_t home = 0;
+  switch (params_.placement) {
+    case Placement::kConsistentHash:
+      home = ring_.place(session);
+      break;
+    case Placement::kLeastLoaded: {
+      // Live snapshots: placement happens at setup time, before the first
+      // heartbeat. Every server carries the same registrations, so the
+      // tie-break is the count of sessions *homed* here, which makes the
+      // cold start round-robin.
+      std::vector<serve::LoadSnapshot> loads;
+      loads.reserve(servers_.size());
+      for (const serve::EdgeServerFrontend* server : servers_)
+        loads.push_back(server->load_snapshot());
+      home = least_loaded_server(loads);
+      break;
+    }
+  }
+  bindings_.push_back(SessionBinding{home, false, 0});
+  ++homed_[home];
+  return session;
+}
+
+const SessionBinding& ClusterRouter::binding(std::uint64_t session) const {
+  LP_CHECK(session < bindings_.size());
+  return bindings_[session];
+}
+
+void ClusterRouter::start() {
+  LP_CHECK_MSG(!started_, "router already started");
+  started_ = true;
+  sim_->spawn(heartbeat_loop());
+}
+
+sim::Task ClusterRouter::heartbeat_loop() {
+  for (;;) {
+    co_await sim_->delay(params_.heartbeat_period);
+    collect_heartbeat();
+    reroute_dead_sessions();
+    if (params_.rebalance) maybe_rebalance();
+  }
+}
+
+void ClusterRouter::collect_heartbeat() {
+  last_heartbeat_.clear();
+  last_heartbeat_.reserve(servers_.size());
+  for (const serve::EdgeServerFrontend* server : servers_)
+    last_heartbeat_.push_back(server->load_snapshot());
+  ++heartbeats_;
+  if (telemetry_ != nullptr) {
+    heartbeat_counter_->add(1);
+    auto& metrics = telemetry_->metrics();
+    for (std::size_t i = 0; i < last_heartbeat_.size(); ++i) {
+      const serve::LoadSnapshot& s = last_heartbeat_[i];
+      const std::string prefix = "cluster.s" + std::to_string(i);
+      metrics.gauge(prefix + ".predicted_delay_sec")
+          .set(s.predicted_delay_sec);
+      metrics.gauge(prefix + ".queue_depth")
+          .set(static_cast<double>(s.queue_depth));
+      if (auto* tr = telemetry_->trace())
+        tr->counter(track_, "s" + std::to_string(i) + ".queue_depth",
+                    sim_->now(), static_cast<double>(s.queue_depth));
+    }
+  }
+}
+
+std::size_t ClusterRouter::alive_count(
+    const std::vector<serve::LoadSnapshot>& loads) const {
+  std::size_t alive = 0;
+  for (const serve::LoadSnapshot& s : loads)
+    if (s.alive) ++alive;
+  return alive;
+}
+
+std::size_t ClusterRouter::least_loaded_server(
+    const std::vector<serve::LoadSnapshot>& loads) const {
+  std::size_t best = loads.size();
+  for (std::size_t i = 0; i < loads.size(); ++i) {
+    if (!loads[i].alive) continue;
+    if (best == loads.size()) {
+      best = i;
+      continue;
+    }
+    const double di = loads[i].predicted_delay_sec;
+    const double db = loads[best].predicted_delay_sec;
+    if (di != db) {
+      if (di < db) best = i;
+      continue;
+    }
+    if (homed_[i] < homed_[best]) best = i;  // ties: fewer homes, lower i
+  }
+  LP_CHECK_MSG(best < loads.size(), "no alive server to place on");
+  return best;
+}
+
+void ClusterRouter::redirect(std::uint64_t session, std::size_t server) {
+  if (redirect_) redirect_(session, server);
+}
+
+void ClusterRouter::reroute_dead_sessions() {
+  if (alive_count(last_heartbeat_) == 0) return;  // total outage: wait
+  const auto alive = [this](std::size_t s) {
+    return last_heartbeat_[s].alive;
+  };
+  for (std::uint64_t session = 0; session < bindings_.size(); ++session) {
+    SessionBinding& b = bindings_[session];
+    if (b.migrating || last_heartbeat_[b.server].alive) continue;
+    // The crash wiped the session state, so there is nothing to carry:
+    // re-home per the placement policy and redirect the client. The new
+    // server starts the session cold, exactly as a restart would.
+    std::size_t target = 0;
+    switch (params_.placement) {
+      case Placement::kConsistentHash:
+        target = ring_.place_if(session, alive);
+        break;
+      case Placement::kLeastLoaded:
+        target = least_loaded_server(last_heartbeat_);
+        break;
+    }
+    --homed_[b.server];
+    b.server = target;
+    b.last_move = sim_->now();
+    ++homed_[target];
+    ++reroutes_;
+    if (telemetry_ != nullptr) {
+      reroute_counter_->add(1);
+      if (auto* tr = telemetry_->trace())
+        tr->instant(track_, "reroute", sim_->now(),
+                    obs::TraceArgs()
+                        .arg("session", session)
+                        .arg("server", target));
+    }
+    redirect(session, target);
+  }
+}
+
+void ClusterRouter::maybe_rebalance() {
+  if (alive_count(last_heartbeat_) < 2) return;
+  std::size_t started = 0;
+  while (started < params_.max_migrations_per_round) {
+    // Hot and cold by predicted queue delay, alive servers only. Reading
+    // the stored heartbeat keeps every decision a pure function of the
+    // snapshot (determinism), at the price of acting on slightly stale
+    // load — the same trade the Ceph MDS balancer makes.
+    std::size_t hot = last_heartbeat_.size();
+    std::size_t cold = last_heartbeat_.size();
+    for (std::size_t i = 0; i < last_heartbeat_.size(); ++i) {
+      if (!last_heartbeat_[i].alive) continue;
+      if (hot == last_heartbeat_.size() ||
+          last_heartbeat_[i].predicted_delay_sec >
+              last_heartbeat_[hot].predicted_delay_sec)
+        hot = i;
+      if (cold == last_heartbeat_.size() ||
+          last_heartbeat_[i].predicted_delay_sec <
+              last_heartbeat_[cold].predicted_delay_sec)
+        cold = i;
+    }
+    if (hot == cold) return;
+    const double skew = last_heartbeat_[hot].predicted_delay_sec -
+                        last_heartbeat_[cold].predicted_delay_sec;
+    if (skew <= params_.skew_threshold_sec) return;
+
+    // Victim: the session contributing the most queued work on the hot
+    // server (ties: more submissions, then the lower id — deterministic).
+    std::vector<std::size_t> queued(bindings_.size(), 0);
+    for (const serve::QueuedJob& job : servers_[hot]->queue().jobs())
+      ++queued[job.session];
+    std::uint64_t victim = bindings_.size();
+    for (std::uint64_t s = 0; s < bindings_.size(); ++s) {
+      const SessionBinding& b = bindings_[s];
+      if (b.server != hot || b.migrating) continue;
+      if (sim_->now() - b.last_move < params_.min_dwell && b.last_move > 0)
+        continue;
+      if (queued[s] == 0) continue;  // nothing to move, nothing to gain
+      if (victim == bindings_.size()) {
+        victim = s;
+        continue;
+      }
+      if (queued[s] != queued[victim]) {
+        if (queued[s] > queued[victim]) victim = s;
+        continue;
+      }
+      if (servers_[hot]->session_stats(s).submitted >
+          servers_[hot]->session_stats(victim).submitted)
+        victim = s;
+    }
+    if (victim == bindings_.size()) return;
+    sim_->spawn(migrate(victim, cold));
+    ++started;
+    // A further round against the same (stale) snapshot picks the same
+    // hot/cold pair but skips the now-migrating victim, so a larger
+    // max_migrations_per_round moves the next-busiest sessions.
+  }
+}
+
+sim::Task ClusterRouter::migrate(std::uint64_t session, std::size_t target) {
+  LP_CHECK(session < bindings_.size());
+  LP_CHECK(target < servers_.size());
+  SessionBinding& b = bindings_[session];
+  if (b.migrating || b.server == target) co_return;
+  b.migrating = true;
+  const std::size_t source = b.server;
+
+  // Non-blocking export: state snapshot plus every queued job; the
+  // in-flight dispatch (if any) finishes on the source. Stragglers the
+  // client submits before its redirect land on the source and are served
+  // there against the reset (cold) session state.
+  serve::SessionExport ex = servers_[source]->export_session(session);
+  const std::size_t jobs = ex.jobs.size();
+  in_transit_jobs_ += jobs;
+  ++migrations_;
+  migrated_jobs_ += jobs;
+  if (telemetry_ != nullptr) {
+    migration_counter_->add(1);
+    migrated_jobs_counter_->add(static_cast<std::int64_t>(jobs));
+    if (auto* tr = telemetry_->trace())
+      tr->instant(track_, "migrate-begin", sim_->now(),
+                  obs::TraceArgs()
+                      .arg("session", session)
+                      .arg("from", source)
+                      .arg("to", target)
+                      .arg("jobs", jobs)
+                      .arg("bytes", ex.bytes));
+  }
+
+  // Modeled interconnect transfer of the payload.
+  co_await sim_->delay(params_.migration_rtt +
+                       transfer_time(ex.bytes, params_.migration_bandwidth));
+
+  // Hand-off is atomic at this suspension point: jobs leave the in-transit
+  // ledger in the same instant they enter the target's counters, so the
+  // cluster conservation audit balances at every observable time.
+  in_transit_jobs_ -= jobs;
+  servers_[target]->import_session(session, std::move(ex));
+  --homed_[source];
+  b.server = target;
+  b.last_move = sim_->now();
+  b.migrating = false;
+  ++homed_[target];
+  if (telemetry_ != nullptr) {
+    if (auto* tr = telemetry_->trace())
+      tr->instant(track_, "migrate-end", sim_->now(),
+                  obs::TraceArgs()
+                      .arg("session", session)
+                      .arg("to", target)
+                      .arg("jobs", jobs));
+  }
+  redirect(session, target);
+}
+
+void ClusterRouter::set_telemetry(obs::Telemetry* telemetry) {
+  telemetry_ = telemetry;
+  if (telemetry_ == nullptr) return;
+  auto& metrics = telemetry_->metrics();
+  heartbeat_counter_ = &metrics.counter("cluster.heartbeats");
+  migration_counter_ = &metrics.counter("cluster.migrations");
+  migrated_jobs_counter_ = &metrics.counter("cluster.migrated_jobs");
+  reroute_counter_ = &metrics.counter("cluster.reroutes");
+  if (auto* tr = telemetry_->trace()) track_ = tr->track("cluster");
+}
+
+}  // namespace lp::cluster

@@ -1,0 +1,192 @@
+// ClusterRouter: the control plane of a multi-server edge cluster.
+//
+// One router fronts N serve::EdgeServerFrontend instances on the same sim
+// clock. It is control-plane only — clients hold a direct binding to their
+// current server and submit to it without a per-request hop; the router
+// owns *where that binding points*:
+//
+//   * placement — a new session lands on a server chosen by the configured
+//     policy: a consistent-hash ring over the cluster session id
+//     (deterministic, join-order independent, minimal movement), or
+//     least-loaded by predicted queue delay (heartbeat-driven);
+//   * heartbeats — every heartbeat_period the router pulls one coherent
+//     serve::LoadSnapshot per server (queue depth, predicted backlog,
+//     in-flight, conservation counters), the same payload check::audit
+//     verifies, and drives every decision off that stored view;
+//   * crash reroute — sessions homed on a server that misses its
+//     heartbeat (fail-stop crash) are re-placed on an alive server and
+//     their clients redirected; the crash wiped the session state, so the
+//     new home starts cold, exactly like a restart on the old one;
+//   * live migration — when rebalancing is on and the predicted-delay skew
+//     between the hottest and coldest alive servers exceeds the threshold,
+//     the router exports the busiest session off the hot server (state
+//     snapshot + every queued job, non-blocking: the in-flight dispatch
+//     finishes where it is), holds the payload for a modeled interconnect
+//     transfer, imports it on the cold server, and redirects the client.
+//     No request is dropped or duplicated: jobs in transit are counted and
+//     the cluster-wide conservation audit (check/invariants.h) balances
+//     admitted against served + failed + queued + in-flight + in-transit
+//     at every heartbeat. The non-blocking export/import shape follows the
+//     Ceph MDS balancer's subtree export protocol.
+//
+// Everything is deterministic: decisions read stored snapshots, iteration
+// is over index-ordered vectors, and the transfer delay is a pure function
+// of the modeled payload size. Two same-seed runs are byte-identical.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cluster/hash_ring.h"
+#include "obs/telemetry.h"
+#include "serve/frontend.h"
+
+namespace lp::cluster {
+
+enum class Placement {
+  kConsistentHash,  ///< static: ring over the cluster session id
+  kLeastLoaded,     ///< dynamic: min predicted queue delay at open time
+};
+
+std::string placement_name(Placement placement);
+
+struct RouterParams {
+  Placement placement = Placement::kLeastLoaded;
+
+  /// Heartbeat cadence: how often load snapshots are pulled and reroute /
+  /// rebalance decisions run.
+  DurationNs heartbeat_period = milliseconds(500);
+
+  /// Live rebalancing: migrate sessions when load skew exceeds the
+  /// threshold. Off = placement only (the static baselines).
+  bool rebalance = false;
+
+  /// Trigger: hottest-minus-coldest predicted queue delay (seconds) that
+  /// arms a migration round.
+  double skew_threshold_sec = 0.2;
+
+  /// Migrations started per heartbeat round (1 = one careful move, then
+  /// observe the effect on the next heartbeat).
+  std::size_t max_migrations_per_round = 1;
+
+  /// A session that just moved is pinned for this long (anti-thrash).
+  DurationNs min_dwell = seconds(2);
+
+  /// Modeled cluster interconnect for the migration payload.
+  BitsPerSec migration_bandwidth = mbps(400);
+  DurationNs migration_rtt = milliseconds(1);
+
+  /// Virtual nodes per server on the consistent-hash ring.
+  std::size_t vnodes = 64;
+};
+
+/// Where a cluster session currently lives. The local session id equals
+/// the cluster session id on every server (the router opens the session on
+/// all of them in lock-step), so an export/import pair never renumbers.
+struct SessionBinding {
+  std::size_t server = 0;
+  bool migrating = false;   ///< an export/import is in flight
+  TimeNs last_move = 0;     ///< when it last migrated (dwell pinning)
+};
+
+class ClusterRouter {
+ public:
+  /// The frontends must outlive the router. At least one server.
+  ClusterRouter(sim::Simulator& sim,
+                std::vector<serve::EdgeServerFrontend*> servers,
+                RouterParams params);
+
+  /// Places a new session per the policy and registers it on *every*
+  /// server (so migration targets always have the registration; the local
+  /// id equals the returned cluster id on each). The profile must outlive
+  /// the router.
+  std::uint64_t open_session(const core::GraphCostProfile& profile);
+
+  /// The client-redirect hook: called as redirect(session, new_server)
+  /// after a migration lands or a crash reroute re-homes the session; the
+  /// callback rebinds the owning OffloadClient. Unset = clients keep
+  /// submitting to the old server (stragglers still conserve).
+  void set_redirect(
+      std::function<void(std::uint64_t, std::size_t)> redirect) {
+    redirect_ = std::move(redirect);
+  }
+
+  /// Spawns the heartbeat loop (call once, after sessions are wired).
+  void start();
+
+  /// Starts a live migration of `session` to `target` (a coroutine the
+  /// heartbeat loop and tests spawn through the simulator). No-op when the
+  /// session is already there or already moving.
+  sim::Task migrate(std::uint64_t session, std::size_t target);
+
+  std::size_t servers() const { return servers_.size(); }
+  serve::EdgeServerFrontend& server(std::size_t i) { return *servers_[i]; }
+  const serve::EdgeServerFrontend& server(std::size_t i) const {
+    return *servers_[i];
+  }
+  std::size_t sessions() const { return bindings_.size(); }
+  const SessionBinding& binding(std::uint64_t session) const;
+  const RouterParams& params() const { return params_; }
+  const HashRing& ring() const { return ring_; }
+
+  /// The snapshots from the most recent heartbeat (empty before the
+  /// first); decisions and the cluster audit read these.
+  const std::vector<serve::LoadSnapshot>& last_heartbeat() const {
+    return last_heartbeat_;
+  }
+
+  std::uint64_t heartbeats() const { return heartbeats_; }
+  std::uint64_t migrations() const { return migrations_; }
+  std::uint64_t migrated_jobs() const { return migrated_jobs_; }
+  std::uint64_t reroutes() const { return reroutes_; }
+
+  /// Queued jobs currently riding a migration transfer between servers —
+  /// exported (counted migrated-out) but not yet imported. The cluster
+  /// conservation audit balances them explicitly.
+  std::size_t in_transit_jobs() const { return in_transit_jobs_; }
+
+  /// Attaches telemetry: cluster.* counters (heartbeats, migrations,
+  /// migrated_jobs, reroutes), per-server predicted-delay and queue-depth
+  /// gauges refreshed each heartbeat, and migrate/reroute instants on a
+  /// "cluster" trace track. Purely observational.
+  void set_telemetry(obs::Telemetry* telemetry);
+
+ private:
+  sim::Task heartbeat_loop();
+  void collect_heartbeat();
+  void reroute_dead_sessions();
+  void maybe_rebalance();
+  /// Least-loaded alive server (ties: fewer homed sessions, lower index).
+  std::size_t least_loaded_server(
+      const std::vector<serve::LoadSnapshot>& loads) const;
+  std::size_t alive_count(
+      const std::vector<serve::LoadSnapshot>& loads) const;
+  void redirect(std::uint64_t session, std::size_t server);
+
+  sim::Simulator* sim_;
+  std::vector<serve::EdgeServerFrontend*> servers_;
+  RouterParams params_;
+  HashRing ring_;
+  std::vector<SessionBinding> bindings_;  ///< by cluster session id
+  std::vector<std::size_t> homed_;        ///< sessions homed per server
+  std::vector<serve::LoadSnapshot> last_heartbeat_;
+  std::function<void(std::uint64_t, std::size_t)> redirect_;
+  bool started_ = false;
+
+  std::uint64_t heartbeats_ = 0;
+  std::uint64_t migrations_ = 0;
+  std::uint64_t migrated_jobs_ = 0;
+  std::uint64_t reroutes_ = 0;
+  std::size_t in_transit_jobs_ = 0;
+
+  obs::Telemetry* telemetry_ = nullptr;
+  obs::TrackId track_ = 0;
+  obs::Counter* heartbeat_counter_ = nullptr;
+  obs::Counter* migration_counter_ = nullptr;
+  obs::Counter* migrated_jobs_counter_ = nullptr;
+  obs::Counter* reroute_counter_ = nullptr;
+};
+
+}  // namespace lp::cluster

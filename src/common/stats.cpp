@@ -59,6 +59,17 @@ void SlidingWindow::clear() {
   sum_ = 0.0;
 }
 
+SlidingWindow::Snapshot SlidingWindow::snapshot() const {
+  return Snapshot{std::vector<double>(values_.begin(), values_.end()), sum_};
+}
+
+void SlidingWindow::restore(const Snapshot& s) {
+  LP_CHECK_MSG(s.values.size() <= capacity_,
+               "snapshot does not fit the window capacity");
+  values_.assign(s.values.begin(), s.values.end());
+  sum_ = s.sum;
+}
+
 double SlidingWindow::mean() const {
   LP_CHECK(!values_.empty());
   return sum_ / static_cast<double>(values_.size());

@@ -46,6 +46,20 @@ class SlidingWindow {
   double mean() const;  ///< Requires !empty().
   double latest() const;  ///< Requires !empty().
 
+  /// Verbatim copy of the window for session migration. The running sum is
+  /// captured too (not recomputed from the values): evictions subtract from
+  /// it incrementally, so replaying only the surviving values could differ
+  /// in the last bit — restore() must reproduce mean() exactly.
+  struct Snapshot {
+    std::vector<double> values;  ///< oldest first
+    double sum = 0.0;
+  };
+  Snapshot snapshot() const;
+
+  /// Restores a snapshot taken from a window of the same capacity; the
+  /// restored window is bit-identical (values, sum, hence mean).
+  void restore(const Snapshot& s);
+
  private:
   std::size_t capacity_;
   std::deque<double> values_;

@@ -29,6 +29,16 @@ double LoadFactorTracker::idle_baseline() const {
   return std::max(1.0, idle_ratios_.mean());
 }
 
+LoadFactorTracker::State LoadFactorTracker::export_state() const {
+  return State{ratios_.snapshot(), idle_ratios_.snapshot(), records_};
+}
+
+void LoadFactorTracker::import_state(const State& state) {
+  ratios_.restore(state.ratios);
+  idle_ratios_.restore(state.idle_ratios);
+  records_ = state.records;
+}
+
 void LoadFactorTracker::reset_idle() {
   ratios_.clear();
   ratios_.add(idle_baseline());

@@ -53,6 +53,18 @@ class LoadFactorTracker {
   std::size_t window_size() const { return ratios_.size(); }
   std::size_t window_capacity() const { return ratios_.capacity(); }
 
+  /// Full tracker state for session migration: both ratio windows plus the
+  /// monitoring-period counter. export_state() on the source and
+  /// import_state() on a tracker constructed with the same window size
+  /// leave the two bit-identical (k(), idle_baseline(), records()).
+  struct State {
+    SlidingWindow::Snapshot ratios;
+    SlidingWindow::Snapshot idle_ratios;
+    std::uint64_t records = 0;
+  };
+  State export_state() const;
+  void import_state(const State& state);
+
  private:
   SlidingWindow ratios_;
   SlidingWindow idle_ratios_;

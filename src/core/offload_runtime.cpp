@@ -254,6 +254,19 @@ Decision OffloadClient::current_decision() const {
   return Decision{n, 0.0};
 }
 
+void OffloadClient::rebind(SuffixService& server, std::uint64_t session) {
+  server_ = &server;
+  session_ = session;
+  // Cold-start weights are per-server: whatever was shipped stayed behind.
+  if (!params_.weights_preloaded)
+    params_on_server_.assign(params_on_server_.size(), false);
+  if (telemetry_ != nullptr) {
+    if (auto* tr = trace())
+      tr->instant(track_, "rebind", sim_->now(),
+                  obs::TraceArgs().arg("session", session));
+  }
+}
+
 sim::Task OffloadClient::run_suffix_locally(std::size_t p,
                                             InferenceRecord* rec) {
   const auto& g = profile_->graph();

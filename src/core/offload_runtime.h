@@ -270,6 +270,19 @@ class OffloadClient {
   /// The decision the client would take right now (no side effects).
   Decision current_decision() const;
 
+  /// Redirects every subsequent request to a different service endpoint
+  /// and session (live session migration or crash reroute — the cluster
+  /// router's control-plane hand-off). Attempts already in flight finish
+  /// against the old endpoint. Device-side state (partition cache,
+  /// bandwidth estimator, cached k) stays: it describes the device and the
+  /// link, and the server-side session state travelled with the migration.
+  /// With weights_preloaded = false the shipped-parameter ledger resets —
+  /// the new server starts without this model's weights.
+  void rebind(SuffixService& server, std::uint64_t session);
+
+  std::uint64_t session() const { return session_; }
+  const SuffixService* server() const { return server_; }
+
   /// Attaches telemetry (null detaches): infer() then records a root
   /// "request" span on `track` with nested partition-prepare / prefix-exec
   /// / suffix-wait / suffix-local children, decision/retry/fallback

@@ -37,6 +37,15 @@ class BandwidthEstimator {
 
   std::size_t samples() const { return window_.size(); }
 
+  /// Window contents for session migration; the initial seed is a config
+  /// constant and stays with the estimator. Round-tripping through
+  /// export_state()/import_state() (same window size) is bit-identical.
+  struct State {
+    SlidingWindow::Snapshot window;
+  };
+  State export_state() const { return State{window_.snapshot()}; }
+  void import_state(const State& state) { window_.restore(state.window); }
+
  private:
   SlidingWindow window_;
   BitsPerSec initial_;

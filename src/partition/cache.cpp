@@ -56,6 +56,29 @@ std::vector<std::size_t> PartitionCache::lru_keys() const {
   return std::vector<std::size_t>(lru_.begin(), lru_.end());
 }
 
+PartitionCache::Contents PartitionCache::export_contents() const {
+  Contents contents;
+  contents.plans.reserve(entries_.size());
+  for (std::size_t p : lru_)  // front = most recent
+    contents.plans.push_back(entries_.at(p).plan);
+  contents.hits = hits_;
+  contents.misses = misses_;
+  contents.evictions = evictions_;
+  return contents;
+}
+
+void PartitionCache::import_contents(Contents contents) {
+  LP_CHECK_MSG(contents.plans.size() <= capacity_,
+               "imported cache contents exceed capacity");
+  clear();
+  // Insert oldest first so the rebuilt recency order matches the export.
+  for (auto it = contents.plans.rbegin(); it != contents.plans.rend(); ++it)
+    insert(std::move(*it));
+  hits_ = contents.hits;
+  misses_ = contents.misses;
+  evictions_ = contents.evictions;
+}
+
 void PartitionCache::reset_stats() {
   hits_ = 0;
   misses_ = 0;

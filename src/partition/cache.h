@@ -41,6 +41,19 @@ class PartitionCache {
   /// Keys in recency order (most recent first); for audits and tests.
   std::vector<std::size_t> lru_keys() const;
 
+  /// Full cache contents for session migration: the plans in recency order
+  /// (most recent first) plus the statistics. import_contents() into a
+  /// cache of the same capacity reproduces the source bit-identically
+  /// (lru_keys(), hit/miss/eviction counters, every stored plan).
+  struct Contents {
+    std::vector<PartitionPlan> plans;  ///< most recent first
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+  Contents export_contents() const;
+  void import_contents(Contents contents);
+
   /// Zeroes hits/misses/evictions without touching the entries. Called on
   /// session wipe so a re-warmed cache's hit_rate() never blends pre-crash
   /// traffic into the fresh epoch.

@@ -44,8 +44,8 @@ sim::Task audit_driver(
 
 }  // namespace
 
-std::vector<const core::InferenceRecord*> FleetResult::steady(
-    int tenant) const {
+std::vector<const core::InferenceRecord*> steady_records(
+    const std::vector<ClientTrace>& clients, DurationNs warmup, int tenant) {
   std::vector<const core::InferenceRecord*> out;
   for (const ClientTrace& trace : clients) {
     if (tenant >= 0 && trace.tenant != static_cast<std::size_t>(tenant))
@@ -56,6 +56,11 @@ std::vector<const core::InferenceRecord*> FleetResult::steady(
   return out;
 }
 
+std::vector<const core::InferenceRecord*> FleetResult::steady(
+    int tenant) const {
+  return steady_records(clients, warmup, tenant);
+}
+
 double FleetResult::requests_per_sec() const {
   const auto rs = steady();
   const double window = to_seconds(duration - warmup);
@@ -63,7 +68,11 @@ double FleetResult::requests_per_sec() const {
   return static_cast<double>(rs.size()) / window;
 }
 
-TenantSummary FleetResult::summarize(int tenant) const {
+TenantSummary summarize_traces(const std::vector<ClientTrace>& clients,
+                               const std::vector<std::string>& tenant_names,
+                               const std::vector<double>& tenant_slo_sec,
+                               DurationNs warmup, DurationNs duration,
+                               int tenant) {
   TenantSummary s;
   s.name = tenant < 0 ? "fleet"
                       : tenant_names[static_cast<std::size_t>(tenant)];
@@ -131,6 +140,11 @@ TenantSummary FleetResult::summarize(int tenant) const {
   if (window > 0.0)
     s.requests_per_sec = static_cast<double>(s.requests()) / window;
   return s;
+}
+
+TenantSummary FleetResult::summarize(int tenant) const {
+  return summarize_traces(clients, tenant_names, tenant_slo_sec, warmup,
+                          duration, tenant);
 }
 
 std::vector<std::string> TenantSummary::table_row(int latency_digits) const {
@@ -256,16 +270,7 @@ FleetResult run_fleet(const FleetConfig& config,
   sim.run_until(config.duration);
   if (config.on_audit) config.on_audit(frontend, sim.now());
 
-  result.submitted = frontend.submitted();
-  result.admitted = frontend.admitted();
-  result.shed = frontend.shed();
-  result.served = frontend.served();
-  result.dispatches = frontend.dispatches();
-  result.batched_dispatches = frontend.batched_dispatches();
-  result.batched_jobs = frontend.batched_jobs();
-  result.refused = frontend.refused();
-  result.crashes = frontend.crashes();
-  result.failed_jobs = frontend.failed_jobs();
+  result.frontend = frontend.load_snapshot();
 
   // Per-tenant steady-state summaries land in the registry so one snapshot
   // export carries the whole experiment.

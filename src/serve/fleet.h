@@ -123,6 +123,21 @@ struct TenantSummary {
                const std::string& prefix) const;
 };
 
+/// Steady-state records across traces (tenant -1 = all); shared by
+/// FleetResult and the cluster layer's ClusterResult.
+std::vector<const core::InferenceRecord*> steady_records(
+    const std::vector<ClientTrace>& clients, DurationNs warmup,
+    int tenant = -1);
+
+/// Summarizes client traces into a TenantSummary (tenant -1 = everything).
+/// The workhorse behind FleetResult::summarize, exposed so multi-server
+/// results can reuse the identical accounting.
+TenantSummary summarize_traces(const std::vector<ClientTrace>& clients,
+                               const std::vector<std::string>& tenant_names,
+                               const std::vector<double>& tenant_slo_sec,
+                               DurationNs warmup, DurationNs duration,
+                               int tenant = -1);
+
 struct FleetResult {
   std::vector<ClientTrace> clients;
   std::vector<std::string> tenant_names;
@@ -130,17 +145,9 @@ struct FleetResult {
   DurationNs warmup = 0;
   DurationNs duration = 0;
 
-  // Frontend counters at the end of the run.
-  std::uint64_t submitted = 0;
-  std::uint64_t admitted = 0;
-  std::uint64_t shed = 0;
-  std::uint64_t served = 0;
-  std::uint64_t dispatches = 0;
-  std::uint64_t batched_dispatches = 0;
-  std::uint64_t batched_jobs = 0;
-  std::uint64_t refused = 0;      ///< submissions refused while crashed
-  std::uint64_t crashes = 0;      ///< fail-stop crashes taken
-  std::uint64_t failed_jobs = 0;  ///< jobs failed server-down by crashes
+  /// Frontend load/conservation counters at the end of the run — one
+  /// coherent snapshot instead of the ten scalars this used to copy.
+  LoadSnapshot frontend;
 
   /// Steady-state records of one tenant, or of every tenant (-1).
   std::vector<const core::InferenceRecord*> steady(int tenant = -1) const;

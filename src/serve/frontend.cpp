@@ -72,7 +72,142 @@ double EdgeServerFrontend::predicted_queue_delay_sec() const {
   return queue_.predicted_backlog_sec() + in_flight_sec_;
 }
 
-void EdgeServerFrontend::set_telemetry(obs::Telemetry* telemetry) {
+LoadSnapshot EdgeServerFrontend::load_snapshot() const {
+  LoadSnapshot s;
+  s.alive = !down_;
+  s.sessions = sessions_.size();
+  s.queue_depth = queue_.size();
+  s.inflight_jobs = inflight_jobs();
+  s.predicted_backlog_sec = queue_.predicted_backlog_sec();
+  s.predicted_delay_sec = predicted_queue_delay_sec();
+  if (!sessions_.empty()) {
+    double total = 0.0;
+    for (const Session& session : sessions_) total += session.k.k();
+    s.mean_k = total / static_cast<double>(sessions_.size());
+  }
+  s.submitted = submitted_;
+  s.admitted = admitted_;
+  s.shed = shed_;
+  s.refused = refused_;
+  s.served = served_;
+  s.failed_jobs = failed_jobs_;
+  s.dispatches = dispatches_;
+  s.batched_dispatches = batched_dispatches_;
+  s.batched_jobs = batched_jobs_;
+  s.crashes = crashes_;
+  s.migrated_in = migrated_in_;
+  s.migrated_out = migrated_out_;
+  return s;
+}
+
+EdgeServerFrontend::SessionStats EdgeServerFrontend::session_stats(
+    std::uint64_t session) const {
+  LP_CHECK(session < sessions_.size());
+  const Session& s = sessions_[session];
+  return SessionStats{s.submitted, s.admitted, s.shed};
+}
+
+namespace {
+// Modeled wire cost of a session export: a fixed header, the sliding
+// windows, a serialized plan per cache entry, and a header per re-routed
+// job (the boundary tensors themselves stay with the jobs' origin upload —
+// only control state crosses the interconnect).
+constexpr std::int64_t kExportHeaderBytes = 256;
+constexpr std::int64_t kSampleBytes = 8;
+constexpr std::int64_t kPlanBytes = 4096;
+constexpr std::int64_t kJobHeaderBytes = 256;
+}  // namespace
+
+SessionExport EdgeServerFrontend::export_session(std::uint64_t session) {
+  LP_CHECK(session < sessions_.size());
+  Session& s = sessions_[session];
+  SessionExport ex;
+  ex.state.k = s.k.export_state();
+  ex.state.cache = s.cache.export_contents();
+  ex.state.bandwidth = s.bandwidth.export_state();
+  // The local copy resets to fresh: stragglers submitted before the client
+  // learns its new endpoint are still served here, against cold state.
+  s.k = core::LoadFactorTracker(runtime_.k_window);
+  s.cache.clear();
+  s.bandwidth = net::BandwidthEstimator(runtime_.bandwidth_window);
+
+  ex.jobs = queue_.take_session(session);
+  migrated_out_ += ex.jobs.size();
+
+  ex.bytes = kExportHeaderBytes +
+             kSampleBytes * static_cast<std::int64_t>(
+                                ex.state.k.ratios.values.size() +
+                                ex.state.k.idle_ratios.values.size() +
+                                ex.state.bandwidth.window.values.size()) +
+             kPlanBytes * static_cast<std::int64_t>(ex.state.cache.plans.size()) +
+             kJobHeaderBytes * static_cast<std::int64_t>(ex.jobs.size());
+
+  if (telemetry_ != nullptr) {
+    migrated_out_counter_->add(std::int64_t(ex.jobs.size()));
+    if (auto* tr = trace()) {
+      // The exported jobs' queue-wait intervals close here; the importer
+      // opens fresh ones on its own track.
+      for (const QueuedJob& job : ex.jobs)
+        tr->async_end(track_, "queue-wait", job.seq, sim_->now());
+      tr->instant(track_, "export-session", sim_->now(),
+                  obs::TraceArgs()
+                      .arg("session", session)
+                      .arg("jobs", ex.jobs.size())
+                      .arg("bytes", ex.bytes));
+      observe_queue_depth();
+    }
+  }
+  return ex;
+}
+
+void EdgeServerFrontend::import_session(std::uint64_t session,
+                                        SessionExport ex) {
+  LP_CHECK(session < sessions_.size());
+  if (!down_) {
+    Session& s = sessions_[session];
+    s.k.import_state(ex.state.k);
+    s.cache.import_contents(std::move(ex.state.cache));
+    s.bandwidth.import_state(ex.state.bandwidth);
+  }
+  const std::size_t jobs = ex.jobs.size();
+  for (QueuedJob& job : ex.jobs) {
+    job.session = session;
+    job.seq = next_seq_++;
+    ++migrated_in_;
+    if (down_) {
+      // Fail-stop target: the job must not hang in limbo. It counts as
+      // migrated-in then failed, so conservation holds on both servers.
+      ++failed_jobs_;
+      if (job.status != nullptr)
+        *job.status = core::SuffixStatus::kServerDown;
+      if (!job.done->triggered()) job.done->trigger();
+      continue;
+    }
+    // The original admission timestamp rides along: the measured queue
+    // wait honestly spans the migration.
+    queue_.push_migrated(job);
+    if (telemetry_ != nullptr) {
+      if (auto* tr = trace())
+        tr->async_begin(track_, "queue-wait", job.seq, sim_->now(),
+                        obs::TraceArgs()
+                            .arg("session", job.session)
+                            .arg("p", job.p)
+                            .arg("migrated", true));
+    }
+  }
+  if (telemetry_ != nullptr) {
+    migrated_in_counter_->add(std::int64_t(jobs));
+    if (auto* tr = trace()) {
+      tr->instant(track_, "import-session", sim_->now(),
+                  obs::TraceArgs().arg("session", session).arg("jobs", jobs));
+      observe_queue_depth();
+    }
+  }
+  if (!down_ && jobs > 0) work_arrived_.trigger();
+}
+
+void EdgeServerFrontend::set_telemetry(obs::Telemetry* telemetry,
+                                       const std::string& track) {
   telemetry_ = telemetry;
   if (telemetry_ == nullptr) return;
   auto& metrics = telemetry_->metrics();
@@ -82,10 +217,12 @@ void EdgeServerFrontend::set_telemetry(obs::Telemetry* telemetry) {
   served_counter_ = &metrics.counter("serve.served");
   failed_counter_ = &metrics.counter("serve.failed_jobs");
   crash_counter_ = &metrics.counter("serve.crashes");
+  migrated_in_counter_ = &metrics.counter("serve.migrated_in");
+  migrated_out_counter_ = &metrics.counter("serve.migrated_out");
   batch_occupancy_ = &metrics.histogram("serve.batch_occupancy", 0.0, 32.0,
                                         32);
   queue_wait_ms_ = &metrics.histogram("serve.queue_wait_ms", 0.0, 500.0, 100);
-  if (auto* tr = telemetry_->trace()) track_ = tr->track("frontend");
+  if (auto* tr = telemetry_->trace()) track_ = tr->track(track);
 }
 
 void EdgeServerFrontend::observe_queue_depth() {

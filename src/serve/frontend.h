@@ -52,6 +52,49 @@ struct FrontendParams {
   DurationNs batch_window = 0;
 };
 
+/// One coherent read of a frontend's load and conservation counters — the
+/// payload of a cluster heartbeat and the single accessor the invariant
+/// layer and the benches read instead of ad-hoc field-by-field getters.
+struct LoadSnapshot {
+  bool alive = true;
+  std::size_t sessions = 0;
+  std::size_t queue_depth = 0;
+  std::size_t inflight_jobs = 0;
+  double predicted_backlog_sec = 0.0;  ///< queued k-adjusted predictions
+  double predicted_delay_sec = 0.0;    ///< backlog + in-flight dispatch
+  double mean_k = 1.0;                 ///< mean published k across sessions
+  std::uint64_t submitted = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t refused = 0;
+  std::uint64_t served = 0;
+  std::uint64_t failed_jobs = 0;
+  std::uint64_t dispatches = 0;
+  std::uint64_t batched_dispatches = 0;
+  std::uint64_t batched_jobs = 0;
+  std::uint64_t crashes = 0;
+  std::uint64_t migrated_in = 0;   ///< jobs imported via session migration
+  std::uint64_t migrated_out = 0;  ///< jobs exported via session migration
+};
+
+/// The volatile per-session state a live migration carries to the new
+/// server: the k window, the partition-cache contents, and the bandwidth
+/// window. Export→import (same RuntimeParams) is bit-identical.
+struct SessionState {
+  core::LoadFactorTracker::State k;
+  partition::PartitionCache::Contents cache;
+  net::BandwidthEstimator::State bandwidth;
+};
+
+/// A non-blocking session export (the Ceph MDS exporter shape): the state
+/// plus every queued job of the session, with a modeled wire size for the
+/// cluster-interconnect transfer.
+struct SessionExport {
+  SessionState state;
+  std::vector<QueuedJob> jobs;  ///< arrival order
+  std::int64_t bytes = 0;       ///< modeled transfer payload
+};
+
 class EdgeServerFrontend : public core::SuffixService {
  public:
   EdgeServerFrontend(sim::Simulator& sim, hw::GpuScheduler& scheduler,
@@ -115,6 +158,38 @@ class EdgeServerFrontend : public core::SuffixService {
   std::uint64_t failed_jobs() const { return failed_jobs_; }
   /// Submissions refused (kDown) while the server was crashed.
   std::uint64_t refused() const { return refused_; }
+  /// Jobs that arrived through import_session (migrated in).
+  std::uint64_t migrated_in() const { return migrated_in_; }
+  /// Jobs handed over through export_session (migrated out).
+  std::uint64_t migrated_out() const { return migrated_out_; }
+
+  /// One coherent snapshot of load and conservation counters: the cluster
+  /// heartbeat payload and the invariant layer's single read.
+  LoadSnapshot load_snapshot() const;
+
+  /// Per-session admission counters (router victim selection and tests).
+  struct SessionStats {
+    std::uint64_t submitted = 0;
+    std::uint64_t admitted = 0;
+    std::uint64_t shed = 0;
+  };
+  SessionStats session_stats(std::uint64_t session) const;
+
+  /// Live-migration export: snapshots the session's volatile state (k
+  /// window, partition cache, bandwidth window), resets it locally, and
+  /// removes every queued job of the session (counted migrated-out). The
+  /// in-flight dispatch, if it contains the session, completes here — the
+  /// export never blocks or drops work. The session registration itself
+  /// survives (stragglers submitted before the client is redirected are
+  /// still admitted here and served normally).
+  SessionExport export_session(std::uint64_t session);
+
+  /// Live-migration import into a previously opened local session: restores
+  /// the state and re-enqueues the jobs past the capacity bound (they were
+  /// admitted once already; counted migrated-in). Importing into a crashed
+  /// server fails the jobs with kServerDown instead — migration never turns
+  /// into a hang — and drops the state (a crash wipes it anyway).
+  void import_session(std::uint64_t session, SessionExport ex);
 
   const partition::PartitionCache& session_cache(std::uint64_t session) const;
   const core::LoadFactorTracker& session_tracker(std::uint64_t session) const;
@@ -135,8 +210,11 @@ class EdgeServerFrontend : public core::SuffixService {
   /// sequence number (closed at dispatch — or at crash() for casualties),
   /// "batch" spans tagged with occupancy, and crash/restart instants; plus
   /// serve.* registry counters mirroring the accessor set above and batch
-  /// occupancy / queue-wait histograms. Purely observational.
-  void set_telemetry(obs::Telemetry* telemetry);
+  /// occupancy / queue-wait histograms. Purely observational. `track` names
+  /// the trace track (a cluster gives each server its own, e.g. "server0";
+  /// the default keeps single-server traces byte-identical to before).
+  void set_telemetry(obs::Telemetry* telemetry,
+                     const std::string& track = "frontend");
 
  private:
   struct Session {
@@ -185,6 +263,8 @@ class EdgeServerFrontend : public core::SuffixService {
   std::uint64_t crashes_ = 0;
   std::uint64_t failed_jobs_ = 0;
   std::uint64_t refused_ = 0;
+  std::uint64_t migrated_in_ = 0;
+  std::uint64_t migrated_out_ = 0;
 
   // Telemetry (optional; null = fully off). Handles resolved once in
   // set_telemetry so the submit/dispatch paths stay O(1).
@@ -200,6 +280,8 @@ class EdgeServerFrontend : public core::SuffixService {
   obs::Counter* served_counter_ = nullptr;
   obs::Counter* failed_counter_ = nullptr;
   obs::Counter* crash_counter_ = nullptr;
+  obs::Counter* migrated_in_counter_ = nullptr;
+  obs::Counter* migrated_out_counter_ = nullptr;
   obs::Histogram* batch_occupancy_ = nullptr;
   obs::Histogram* queue_wait_ms_ = nullptr;
 };

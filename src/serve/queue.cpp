@@ -31,6 +31,33 @@ bool RequestQueue::push(QueuedJob job) {
   return true;
 }
 
+void RequestQueue::push_migrated(QueuedJob job) {
+  job.migrated = true;
+  backlog_sec_ += job.predicted_sec;
+  jobs_.push_back(job);
+}
+
+std::vector<QueuedJob> RequestQueue::take_session(std::uint64_t session) {
+  std::vector<QueuedJob> out;
+  for (std::size_t i = 0; i < jobs_.size();) {
+    if (jobs_[i].session == session) {
+      out.push_back(jobs_[i]);
+      jobs_.erase(jobs_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+  if (!out.empty()) backlog_sec_ = recompute_backlog();
+  return out;
+}
+
+std::size_t RequestQueue::migrated_in_queue() const {
+  std::size_t count = 0;
+  for (const QueuedJob& job : jobs_)
+    if (job.migrated) ++count;
+  return count;
+}
+
 bool RequestQueue::before(const QueuedJob& a, const QueuedJob& b) const {
   switch (policy_) {
     case QueuePolicy::kFifo:

@@ -48,6 +48,10 @@ struct QueuedJob {
   /// attempt (timeout): a crash or late completion then still writes into
   /// live memory.
   std::shared_ptr<void> keepalive;
+  /// True for a job that arrived via session migration (push_migrated):
+  /// it was admitted once on its origin server, so it bypasses the
+  /// capacity bound here rather than re-contending for admission.
+  bool migrated = false;
 };
 
 class RequestQueue {
@@ -62,6 +66,20 @@ class RequestQueue {
 
   /// Enqueues the job; false (and the job is dropped) when full.
   bool push(QueuedJob job);
+
+  /// Enqueues a job arriving via session migration, bypassing the capacity
+  /// bound (it was already admitted on its origin server and must not be
+  /// dropped). Marks the job migrated; the queue may transiently exceed
+  /// capacity by the number of such jobs still queued.
+  void push_migrated(QueuedJob job);
+
+  /// Removes every queued job of `session` in arrival order (the migration
+  /// export path). The backlog is recomputed from the survivors.
+  std::vector<QueuedJob> take_session(std::uint64_t session);
+
+  /// Queued jobs that entered through push_migrated (audits: the queue may
+  /// exceed capacity by exactly this many).
+  std::size_t migrated_in_queue() const;
 
   /// Removes and returns the next job under the queue policy. Requires
   /// !empty().

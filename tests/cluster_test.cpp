@@ -1,0 +1,369 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "check/invariants.h"
+#include "cluster/fleet.h"
+#include "cluster/hash_ring.h"
+#include "cluster/router.h"
+#include "common/check.h"
+
+namespace lp::cluster {
+namespace {
+
+const core::PredictorBundle& bundle() {
+  static const core::PredictorBundle b = core::train_default_predictors(1234);
+  return b;
+}
+
+// --------------------------------------------------------- hash ring --
+
+TEST(HashRing, PlacementIsDeterministicAcrossInstances) {
+  HashRing a(64), b(64);
+  for (std::size_t s = 0; s < 4; ++s) {
+    a.add_server(s);
+    b.add_server(s);
+  }
+  for (std::uint64_t key = 0; key < 500; ++key)
+    EXPECT_EQ(a.place(key), b.place(key));
+}
+
+TEST(HashRing, PlacementIsIndependentOfJoinOrder) {
+  HashRing forward(64), backward(64);
+  for (std::size_t s = 0; s < 4; ++s) forward.add_server(s);
+  for (std::size_t s = 4; s-- > 0;) backward.add_server(s);
+  for (std::uint64_t key = 0; key < 500; ++key)
+    EXPECT_EQ(forward.place(key), backward.place(key));
+}
+
+TEST(HashRing, JoinRemapsABoundedFractionOfKeys) {
+  constexpr std::uint64_t kKeys = 2000;
+  HashRing ring(64);
+  for (std::size_t s = 0; s < 4; ++s) ring.add_server(s);
+  std::vector<std::size_t> before(kKeys);
+  for (std::uint64_t key = 0; key < kKeys; ++key)
+    before[key] = ring.place(key);
+
+  ring.add_server(4);
+  std::size_t moved = 0;
+  for (std::uint64_t key = 0; key < kKeys; ++key) {
+    const std::size_t now = ring.place(key);
+    if (now != before[key]) {
+      // A join only pulls keys toward the new server: nothing reshuffles
+      // between the old ones.
+      EXPECT_EQ(now, 4u);
+      ++moved;
+    }
+  }
+  // Expected movement is 1/5 of the key space; allow 2x for vnode
+  // variance, and require the join moved *something*.
+  EXPECT_GT(moved, 0u);
+  EXPECT_LT(moved, kKeys * 2 / 5);
+}
+
+TEST(HashRing, LeaveRemapsOnlyTheDepartedKeys) {
+  constexpr std::uint64_t kKeys = 2000;
+  HashRing ring(64);
+  for (std::size_t s = 0; s < 4; ++s) ring.add_server(s);
+  std::vector<std::size_t> before(kKeys);
+  for (std::uint64_t key = 0; key < kKeys; ++key)
+    before[key] = ring.place(key);
+
+  ring.remove_server(2);
+  std::size_t moved = 0;
+  for (std::uint64_t key = 0; key < kKeys; ++key) {
+    const std::size_t now = ring.place(key);
+    EXPECT_NE(now, 2u);
+    if (before[key] != 2u) {
+      // Keys not owned by the departed server stay put.
+      EXPECT_EQ(now, before[key]);
+    } else {
+      ++moved;
+    }
+  }
+  EXPECT_GT(moved, 0u);
+  EXPECT_LT(moved, kKeys * 2 / 4);
+}
+
+TEST(HashRing, PlaceIfWalksPastDeadServers) {
+  HashRing ring(64);
+  for (std::size_t s = 0; s < 3; ++s) ring.add_server(s);
+  for (std::uint64_t key = 0; key < 200; ++key) {
+    const std::size_t home = ring.place(key);
+    const std::size_t fallback =
+        ring.place_if(key, [home](std::size_t s) { return s != home; });
+    EXPECT_NE(fallback, home);
+    // With every server alive, place_if agrees with place.
+    EXPECT_EQ(ring.place_if(key, [](std::size_t) { return true; }), home);
+  }
+}
+
+// ------------------------------------------------- migration harness --
+
+struct PendingRequest {
+  sim::Event done;
+  double exec = 0.0;
+  double overhead = 0.0;
+  double queue_wait = 0.0;
+  core::SuffixStatus suffix_status = core::SuffixStatus::kServed;
+
+  explicit PendingRequest(sim::Simulator& sim) : done(sim) {}
+
+  core::SuffixRequest request(std::uint64_t session, std::size_t p) {
+    core::SuffixRequest r;
+    r.p = p;
+    r.done = &done;
+    r.exec_seconds = &exec;
+    r.overhead_seconds = &overhead;
+    r.queue_wait_seconds = &queue_wait;
+    r.status = &suffix_status;
+    r.session = session;
+    r.predicted_sec = 0.01;
+    return r;
+  }
+};
+
+/// Two frontends on one sim clock plus a router over them.
+struct ClusterHarness {
+  sim::Simulator sim;
+  hw::GpuModel gpu;
+  hw::GpuScheduler sched_a, sched_b;
+  graph::Graph model;
+  core::GraphCostProfile profile;
+  serve::EdgeServerFrontend a, b;
+  ClusterRouter router;
+
+  explicit ClusterHarness(RouterParams params = {})
+      : sched_a(sim),
+        sched_b(sim),
+        model(models::make_model("alexnet")),
+        profile(model, bundle()),
+        a(sim, sched_a, gpu, serve::FrontendParams{}, {}, 99),
+        b(sim, sched_b, gpu, serve::FrontendParams{}, {}, 100),
+        router(sim, {&a, &b}, params) {}
+};
+
+TEST(SessionMigration, RoundTripStateIsBitIdentical) {
+  ClusterHarness h;
+  const std::uint64_t s = h.router.open_session(h.profile);
+
+  // Warm the session on A: several served requests populate the k window,
+  // the partition cache, and (via record bookkeeping) the counters.
+  std::vector<std::unique_ptr<PendingRequest>> reqs;
+  for (int i = 0; i < 6; ++i) {
+    reqs.push_back(std::make_unique<PendingRequest>(h.sim));
+    ASSERT_EQ(h.a.submit(reqs.back()->request(s, 5)),
+              core::SubmitStatus::kAccepted);
+  }
+  h.sim.run_until(seconds(30));
+  ASSERT_EQ(h.a.served(), 6u);
+  ASSERT_GT(h.a.session_tracker(s).window_size(), 0u);
+  ASSERT_GT(h.a.session_cache(s).size(), 0u);
+
+  serve::SessionExport ex = h.a.export_session(s);
+  EXPECT_TRUE(ex.jobs.empty());  // everything already served
+  EXPECT_GT(ex.bytes, 0);
+  const serve::SessionState original = ex.state;
+
+  // The source session reset to fresh.
+  EXPECT_EQ(h.a.session_tracker(s).window_size(), 0u);
+  EXPECT_EQ(h.a.session_cache(s).size(), 0u);
+  EXPECT_DOUBLE_EQ(h.a.session_k(s), 1.0);
+
+  h.b.import_session(s, std::move(ex));
+
+  // Export again from B: bit-identical to what left A, incrementally
+  // maintained sums included.
+  serve::SessionExport back = h.b.export_session(s);
+  check::audit_equal(original, back.state);
+}
+
+TEST(SessionMigration, MovesQueuedJobsWithoutLosingAny) {
+  ClusterHarness h;
+  const std::uint64_t s = h.router.open_session(h.profile);
+  const std::uint64_t other = h.router.open_session(h.profile);
+
+  // Fill A's queue: one job dispatches, the rest wait. A second session's
+  // job interleaves to prove take_session only moves its own.
+  std::vector<std::unique_ptr<PendingRequest>> reqs;
+  for (int i = 0; i < 5; ++i) {
+    reqs.push_back(std::make_unique<PendingRequest>(h.sim));
+    ASSERT_EQ(h.a.submit(reqs.back()->request(s, 5)),
+              core::SubmitStatus::kAccepted);
+  }
+  PendingRequest other_req(h.sim);
+  ASSERT_EQ(h.a.submit(other_req.request(other, 5)),
+            core::SubmitStatus::kAccepted);
+
+  h.sim.spawn(h.router.migrate(s, 1));
+  h.sim.run_until(seconds(60));
+
+  // Every request completed as served — none dropped, none hung.
+  for (const auto& r : reqs) {
+    EXPECT_TRUE(r->done.triggered());
+    EXPECT_EQ(r->suffix_status, core::SuffixStatus::kServed);
+  }
+  EXPECT_TRUE(other_req.done.triggered());
+
+  // The binding moved, jobs were counted through the migration ledgers,
+  // and the cluster conserves: nothing in transit after the run.
+  EXPECT_EQ(h.router.binding(s).server, 1u);
+  EXPECT_EQ(h.router.migrations(), 1u);
+  EXPECT_GT(h.router.migrated_jobs(), 0u);
+  EXPECT_EQ(h.router.in_transit_jobs(), 0u);
+  EXPECT_EQ(h.a.migrated_out(), h.router.migrated_jobs());
+  EXPECT_EQ(h.b.migrated_in(), h.router.migrated_jobs());
+  EXPECT_GT(h.b.served(), 0u);
+  EXPECT_EQ(h.a.served() + h.b.served(), 6u);
+  check::audit(h.router);
+}
+
+TEST(SessionMigration, ImportIntoCrashedServerFailsJobsInsteadOfHanging) {
+  ClusterHarness h;
+  const std::uint64_t s = h.router.open_session(h.profile);
+
+  std::vector<std::unique_ptr<PendingRequest>> reqs;
+  for (int i = 0; i < 4; ++i) {
+    reqs.push_back(std::make_unique<PendingRequest>(h.sim));
+    ASSERT_EQ(h.a.submit(reqs.back()->request(s, 5)),
+              core::SubmitStatus::kAccepted);
+  }
+  // The target dies while the payload is on the wire.
+  h.sim.call_after(0, [&] { h.b.crash(); });
+  h.sim.spawn(h.router.migrate(s, 1));
+  h.sim.run_until(seconds(60));
+
+  for (const auto& r : reqs) EXPECT_TRUE(r->done.triggered());
+  // The in-flight job finished on A; the queued ones died typed, not hung.
+  std::size_t failed = 0;
+  for (const auto& r : reqs)
+    if (r->suffix_status == core::SuffixStatus::kServerDown) ++failed;
+  EXPECT_GT(failed, 0u);
+  EXPECT_EQ(h.router.in_transit_jobs(), 0u);
+  check::audit(h.router);
+}
+
+// ------------------------------------------------------- run_cluster --
+
+ClusterConfig base_config(std::uint64_t seed) {
+  ClusterConfig config;
+  config.servers = 2;
+  config.duration = seconds(20);
+  config.warmup = seconds(5);
+  config.seed = seed;
+  config.router.heartbeat_period = milliseconds(250);
+  serve::TenantSpec spec;
+  spec.model = "alexnet";
+  spec.clients = 6;
+  spec.policy = core::Policy::kNeurosurgeon;
+  spec.upload = net::BandwidthTrace::constant(mbps(20));
+  spec.download = net::BandwidthTrace::constant(mbps(20));
+  spec.request_gap = milliseconds(3);
+  config.tenants.push_back(spec);
+  return config;
+}
+
+TEST(RunCluster, LeastLoadedColdStartRoundRobins) {
+  ClusterConfig config = base_config(7);
+  config.servers = 3;
+  config.router.placement = Placement::kLeastLoaded;
+  config.duration = seconds(2);
+  config.warmup = seconds(0);
+  const auto result = run_cluster(config, bundle());
+  ASSERT_EQ(result.servers.size(), 3u);
+  // 6 clients over 3 cold servers: every server admitted work (the cold
+  // start spread 2-2-2 rather than piling onto server 0).
+  for (const auto& s : result.servers) EXPECT_GT(s.admitted, 0u);
+}
+
+TEST(RunCluster, SameSeedRunsAreIdentical) {
+  const ClusterConfig config = base_config(21);
+  const auto a = run_cluster(config, bundle());
+  const auto b = run_cluster(config, bundle());
+  ASSERT_EQ(a.clients.size(), b.clients.size());
+  for (std::size_t i = 0; i < a.clients.size(); ++i) {
+    const auto& ra = a.clients[i].records;
+    const auto& rb = b.clients[i].records;
+    ASSERT_EQ(ra.size(), rb.size());
+    for (std::size_t j = 0; j < ra.size(); ++j) {
+      EXPECT_EQ(ra[j].start, rb[j].start);
+      EXPECT_EQ(ra[j].p, rb[j].p);
+      EXPECT_DOUBLE_EQ(ra[j].total_sec, rb[j].total_sec);
+      EXPECT_EQ(ra[j].outcome, rb[j].outcome);
+    }
+  }
+  ASSERT_EQ(a.servers.size(), b.servers.size());
+  for (std::size_t i = 0; i < a.servers.size(); ++i) {
+    EXPECT_EQ(a.servers[i].admitted, b.servers[i].admitted);
+    EXPECT_EQ(a.servers[i].served, b.servers[i].served);
+    EXPECT_EQ(a.servers[i].migrated_in, b.servers[i].migrated_in);
+    EXPECT_EQ(a.servers[i].migrated_out, b.servers[i].migrated_out);
+  }
+  EXPECT_EQ(a.heartbeats, b.heartbeats);
+  EXPECT_EQ(a.migrations, b.migrations);
+  EXPECT_EQ(a.migrated_jobs, b.migrated_jobs);
+}
+
+TEST(RunCluster, RebalancerMigratesUnderSkewAndConserves) {
+  // Static hash placement lands the Zipf-hot clients unevenly; the
+  // rebalancer must fire and the conservation audit must hold at every
+  // beat (including mid-transfer).
+  ClusterConfig config = base_config(3);
+  config.router.placement = Placement::kConsistentHash;
+  config.router.rebalance = true;
+  config.router.skew_threshold_sec = 0.02;
+  config.router.min_dwell = seconds(1);
+  config.zipf_alpha = 1.2;
+  config.tenants[0].clients = 8;
+  config.tenants[0].request_gap = milliseconds(2);
+
+  check::ClusterAuditor auditor;
+  config.on_audit = std::ref(auditor);
+  config.audit_period = milliseconds(200);
+
+  const auto result = run_cluster(config, bundle());
+  EXPECT_GT(auditor.audits(), 50u);
+  EXPECT_GT(result.migrations, 0u);
+  EXPECT_GT(result.migrated_jobs, 0u);
+
+  // Zero loss across every move: no client request failed, and the
+  // final snapshots still satisfy the cluster equation.
+  EXPECT_EQ(result.summarize().failed(), 0u);
+  std::uint64_t admitted = 0, settled = 0;
+  for (const auto& s : result.servers) {
+    admitted += s.admitted;
+    settled += s.served + s.failed_jobs + s.queue_depth + s.inflight_jobs;
+  }
+  EXPECT_EQ(admitted, settled);
+}
+
+TEST(RunCluster, CrashRerouteKeepsSessionsServedElsewhere) {
+  ClusterConfig config = base_config(13);
+  config.router.placement = Placement::kLeastLoaded;
+  config.duration = seconds(24);
+  config.warmup = seconds(4);
+  // Server 0 dies mid-run and comes back late; its sessions must fail
+  // over to server 1 and keep completing requests (local_fallback rides
+  // out the detection window without dropping anything).
+  config.server_faults.resize(1);
+  config.server_faults[0].server_crash(seconds(8), seconds(20));
+  config.runtime.fault.rpc_timeout_sec = 0.5;
+  config.runtime.fault.max_retries = 1;
+  config.runtime.fault.local_fallback = true;
+
+  check::ClusterAuditor auditor;
+  config.on_audit = std::ref(auditor);
+
+  const auto result = run_cluster(config, bundle());
+  EXPECT_GT(auditor.audits(), 0u);
+  EXPECT_GT(result.reroutes, 0u);
+  const auto summary = result.summarize();
+  EXPECT_EQ(summary.failed(), 0u);  // every request served or recovered
+  // After the reroute, the surviving server carries new admissions.
+  EXPECT_GT(result.servers[1].admitted, 0u);
+}
+
+}  // namespace
+}  // namespace lp::cluster

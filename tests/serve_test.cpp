@@ -343,7 +343,7 @@ FleetConfig overload_fleet(std::uint64_t seed) {
 
 TEST(FleetDriver, OverloadShedsAndClientsDegradeToLocal) {
   const auto result = run_fleet(overload_fleet(3), bundle());
-  EXPECT_GT(result.shed, 0u);
+  EXPECT_GT(result.frontend.shed, 0u);
   const auto summary = result.summarize();
   EXPECT_GT(summary.requests(), 0u);
   EXPECT_GT(summary.degraded(), 0u);
@@ -390,8 +390,8 @@ TEST(FleetDriver, DeterministicGivenSeed) {
       EXPECT_EQ(ra[j].outcome, rb[j].outcome);
     }
   }
-  EXPECT_EQ(a.shed, b.shed);
-  EXPECT_EQ(a.dispatches, b.dispatches);
+  EXPECT_EQ(a.frontend.shed, b.frontend.shed);
+  EXPECT_EQ(a.frontend.dispatches, b.frontend.dispatches);
 }
 
 TEST(FleetDriver, BatchingRaisesServedThroughput) {
@@ -417,8 +417,8 @@ TEST(FleetDriver, BatchingRaisesServedThroughput) {
 
   const auto plain = run_fleet(config, bundle());
   const auto coalesced = run_fleet(batched, bundle());
-  EXPECT_EQ(plain.batched_dispatches, 0u);
-  EXPECT_GT(coalesced.batched_jobs, 0u);
+  EXPECT_EQ(plain.frontend.batched_dispatches, 0u);
+  EXPECT_GT(coalesced.frontend.batched_jobs, 0u);
   EXPECT_GT(coalesced.summarize().admitted(), plain.summarize().admitted());
 }
 
@@ -483,8 +483,8 @@ FleetConfig crashy_fleet(std::uint64_t seed, bool local_fallback) {
 TEST(FleetDriver, ServerCrashRecoversLocallyWithoutLosingRequests) {
   const auto result = run_fleet(crashy_fleet(21, true), bundle());
   const auto summary = result.summarize();
-  EXPECT_EQ(result.crashes, 1u);
-  EXPECT_GT(result.refused, 0u);  // submissions hit the crashed server
+  EXPECT_EQ(result.frontend.crashes, 1u);
+  EXPECT_GT(result.frontend.refused, 0u);  // submissions hit the crashed server
   ASSERT_GT(summary.requests(), 0u);
   // With local fallback nothing is lost: every request that met a fault
   // terminated with a typed recovery, and the breaker pinned followers to
@@ -531,8 +531,8 @@ TEST(FleetDriver, FaultRunsAreDeterministic) {
       EXPECT_EQ(ra[j].retries, rb[j].retries);
     }
   }
-  EXPECT_EQ(a.refused, b.refused);
-  EXPECT_EQ(a.failed_jobs, b.failed_jobs);
+  EXPECT_EQ(a.frontend.refused, b.frontend.refused);
+  EXPECT_EQ(a.frontend.failed_jobs, b.frontend.failed_jobs);
 }
 
 TEST(FleetDriver, LegacyConfigsAreUnaffectedByTheFaultLayer) {
@@ -545,8 +545,8 @@ TEST(FleetDriver, LegacyConfigsAreUnaffectedByTheFaultLayer) {
   ASSERT_EQ(a.clients.size(), b.clients.size());
   for (std::size_t i = 0; i < a.clients.size(); ++i)
     ASSERT_EQ(a.clients[i].records.size(), b.clients[i].records.size());
-  EXPECT_EQ(a.shed, b.shed);
-  EXPECT_EQ(a.submitted, b.submitted);
+  EXPECT_EQ(a.frontend.shed, b.frontend.shed);
+  EXPECT_EQ(a.frontend.submitted, b.frontend.submitted);
   const auto sa = a.summarize(), sb = b.summarize();
   EXPECT_DOUBLE_EQ(sa.mean_ms, sb.mean_ms);
   EXPECT_EQ(sa.failed(), 0u);
