@@ -8,6 +8,7 @@
 #include "check/generators.h"
 #include "check/invariants.h"
 #include "check/model.h"
+#include "cluster/fleet.h"
 #include "common/check.h"
 #include "common/rng.h"
 #include "core/algorithm.h"
@@ -43,6 +44,8 @@ const char* case_kind_name(CaseKind kind) {
       return "queue";
     case CaseKind::kFleet:
       return "fleet";
+    case CaseKind::kCluster:
+      return "cluster";
   }
   return "?";
 }
@@ -317,6 +320,27 @@ void fleet_case(std::uint64_t seed, int level) {
   LP_CHECK(result.frontend.batched_jobs <= result.frontend.served);
 }
 
+void cluster_case(std::uint64_t seed, int level) {
+  cluster::ClusterConfig config = random_cluster_config(seed, level);
+  ClusterAuditor auditor;
+  config.on_audit = [&auditor](const cluster::ClusterRouter& router,
+                               TimeNs now) { auditor(router, now); };
+  // Audit at the heartbeat cadence: every control-plane decision round is
+  // immediately followed by a conservation + ledger check.
+  config.audit_period = config.router.heartbeat_period;
+
+  static const core::PredictorBundle bundle = synthetic_bundle();
+  const cluster::ClusterResult result = cluster::run_cluster(config, bundle);
+
+  LP_CHECK_MSG(auditor.audits() > 0, "cluster audit hook never fired");
+  // Robust configuration: fencing + return_to_source means no chaos
+  // schedule may strand an admitted job or let a zombie copy through.
+  LP_CHECK_MSG(result.stranded_jobs == 0,
+               "robust cluster stranded jobs under chaos");
+  LP_CHECK_MSG(result.zombie_imports == 0,
+               "robust cluster absorbed a zombie transfer copy");
+}
+
 void run_case(CaseKind kind, std::uint64_t seed, int level) {
   switch (kind) {
     case CaseKind::kDecision:
@@ -330,6 +354,9 @@ void run_case(CaseKind kind, std::uint64_t seed, int level) {
       return;
     case CaseKind::kFleet:
       fleet_case(seed, level);
+      return;
+    case CaseKind::kCluster:
+      cluster_case(seed, level);
       return;
   }
   LP_CHECK_MSG(false, "unknown case kind");

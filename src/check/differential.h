@@ -1,6 +1,6 @@
 // Differential-testing harness for the decision and serving planes.
 //
-// Four case families, each reproducible from a single case seed and a
+// Five case families, each reproducible from a single case seed and a
 // shrink level (level 0 = full-size, higher = smaller instance):
 //   * decision — random graph / predictors / k / bandwidth through
 //     core::decide vs decide_brute_force vs the verbatim pseudocode vs the
@@ -12,7 +12,12 @@
 //     prediction magnitudes through serve::RequestQueue vs a linear-scan
 //     reference of the same policy order, backlog audited exactly;
 //   * fleet    — a randomized fleet (tenants, policies, faults, timeouts)
-//     simulated with the invariant auditor armed on every audit period.
+//     simulated with the invariant auditor armed on every audit period;
+//   * cluster  — a randomized multi-server cluster under control-plane
+//     chaos (lossy heartbeats, non-oracle failure detection, a lossy
+//     migration interconnect with timeout/retry/abort, crash windows),
+//     with the cluster conservation + ledger auditor armed every
+//     heartbeat period — no chaos schedule may lose an admitted job.
 // A case throws lp::ContractError on divergence; run_diff() adds the case
 // index/seed context so any failure is replayable via tools/check_fuzz.
 #pragma once
@@ -22,7 +27,7 @@
 
 namespace lp::check {
 
-enum class CaseKind { kDecision, kCache, kQueue, kFleet };
+enum class CaseKind { kDecision, kCache, kQueue, kFleet, kCluster };
 
 const char* case_kind_name(CaseKind kind);
 
@@ -35,6 +40,7 @@ void decision_case(std::uint64_t seed, int level = 0);
 void cache_case(std::uint64_t seed, int level = 0);
 void queue_case(std::uint64_t seed, int level = 0);
 void fleet_case(std::uint64_t seed, int level = 0);
+void cluster_case(std::uint64_t seed, int level = 0);
 
 /// Runs `cases` cases of one family, deriving case seeds with
 /// case_seed(seed, i). On failure rethrows lp::ContractError prefixed with

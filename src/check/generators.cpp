@@ -219,4 +219,123 @@ serve::FleetConfig random_fleet_config(std::uint64_t seed, int level) {
   return config;
 }
 
+fault::FaultPlan random_control_plan(std::uint64_t seed, DurationNs horizon) {
+  Rng rng(seed);
+  fault::FaultPlan plan;
+  if (rng.bernoulli(0.25)) return plan;  // a quiet control plane
+
+  const int windows = static_cast<int>(rng.uniform_int(1, 3));
+  for (int w = 0; w < windows; ++w) {
+    const TimeNs begin = static_cast<TimeNs>(
+        rng.uniform(0.0, 0.7) * static_cast<double>(horizon));
+    const TimeNs end =
+        begin + std::max<DurationNs>(
+                    milliseconds(50),
+                    static_cast<DurationNs>(rng.uniform(0.05, 0.4) *
+                                            static_cast<double>(horizon)));
+    plan.packet_loss(begin, std::min(end, horizon),
+                     rng.uniform(0.1, 0.8));
+  }
+  if (rng.bernoulli(0.3)) {
+    // A hard blackout: every heartbeat in the window vanishes, which is
+    // what drives the detector through kSuspect into kDead — and, when
+    // the window covers a majority of channels, into quorum degradation.
+    const TimeNs begin = static_cast<TimeNs>(
+        rng.uniform(0.2, 0.6) * static_cast<double>(horizon));
+    plan.link_blackout(
+        begin, std::min<TimeNs>(
+                   begin + static_cast<DurationNs>(
+                               rng.uniform(0.1, 0.3) *
+                               static_cast<double>(horizon)),
+                   horizon));
+  }
+  return plan;
+}
+
+cluster::ClusterConfig random_cluster_config(std::uint64_t seed, int level) {
+  Rng rng(seed);
+  cluster::ClusterConfig config;
+  config.seed = seed;
+  config.servers =
+      level >= 2 ? 2 : static_cast<std::size_t>(rng.uniform_int(2, 4));
+
+  const double base_sec = level >= 2 ? 2.0 : (level == 1 ? 3.0 : 5.0);
+  config.duration = seconds(rng.uniform(base_sec, base_sec * 1.5));
+  config.warmup = config.duration / 4;
+  config.profiler_period = milliseconds(500);
+  config.watcher_period = seconds(1);
+  config.zipf_alpha = rng.bernoulli(0.5) ? rng.uniform(0.5, 1.5) : 0.0;
+
+  // Clients must survive reroutes and degradation on their own: timeouts,
+  // retries and local fallback always armed (the robust client posture).
+  config.runtime.fault.rpc_timeout_sec = rng.uniform(0.2, 0.5);
+  config.runtime.fault.max_retries = 2;
+  config.runtime.fault.local_fallback = true;
+
+  config.frontend.queue_capacity =
+      static_cast<std::size_t>(rng.uniform_int(8, 32));
+
+  cluster::RouterParams& router = config.router;
+  router.placement = rng.bernoulli(0.5)
+                         ? cluster::Placement::kLeastLoaded
+                         : cluster::Placement::kConsistentHash;
+  router.heartbeat_period = milliseconds(rng.uniform_int(100, 400));
+  router.rebalance = rng.bernoulli(0.6);
+  router.skew_threshold_sec = rng.uniform(0.05, 0.3);
+  router.min_dwell = milliseconds(rng.uniform_int(200, 1000));
+
+  // Non-oracle detection: the family's whole point is deciding off a
+  // lossy heartbeat stream.
+  router.detector.mode = rng.bernoulli(0.5)
+                             ? cluster::DetectorParams::Mode::kDeadline
+                             : cluster::DetectorParams::Mode::kPhi;
+  router.detector.suspect_misses = 2;
+  router.detector.dead_misses =
+      static_cast<int>(rng.uniform_int(3, 6));
+  router.detector.suspect_phi = rng.uniform(0.8, 1.5);
+  router.detector.dead_phi =
+      router.detector.suspect_phi + rng.uniform(0.5, 1.5);
+
+  // Robust migration machinery, always on: lost transfers are discovered
+  // by timeout, retried, and finally aborted back to the source.
+  router.migration_timeout = milliseconds(rng.uniform_int(50, 200));
+  router.migration_max_retries = static_cast<int>(rng.uniform_int(1, 2));
+  router.migration_backoff.base_sec = 0.02;
+  router.migration_backoff.max_sec = 0.2;
+  router.return_to_source = true;
+  router.control_seed = case_seed(seed, 0xc011);
+
+  serve::TenantSpec spec;
+  spec.model = rng.bernoulli(0.5) ? "alexnet" : "squeezenet";
+  spec.clients =
+      level >= 1 ? 2 : static_cast<int>(rng.uniform_int(2, 4));
+  spec.upload = net::BandwidthTrace::constant(mbps(rng.uniform(8.0, 32.0)));
+  spec.download = spec.upload;
+  spec.rtt = milliseconds(rng.uniform_int(1, 5));
+  spec.request_gap = milliseconds(rng.uniform_int(5, 30));
+  spec.poisson_arrivals = rng.bernoulli(0.5);
+  config.tenants.push_back(spec);
+
+  // Chaos: lossy heartbeat channels per server, a lossy interconnect, and
+  // possibly real crash windows for the detector to actually catch.
+  for (std::size_t i = 0; i < config.servers; ++i)
+    config.heartbeat_faults.push_back(
+        random_control_plan(case_seed(seed, 0x4b00 + i), config.duration));
+  config.interconnect_faults =
+      random_control_plan(case_seed(seed, 0x1c00), config.duration);
+  if (rng.bernoulli(0.6)) {
+    fault::FaultPlan crash;
+    const TimeNs begin = static_cast<TimeNs>(
+        rng.uniform(0.2, 0.5) * static_cast<double>(config.duration));
+    const TimeNs end =
+        begin + static_cast<DurationNs>(
+                    rng.uniform(0.1, 0.3) *
+                    static_cast<double>(config.duration));
+    crash.server_crash(begin, std::min<TimeNs>(end, config.duration));
+    config.server_faults.push_back(std::move(crash));
+  }
+  config.degrade_to_local = true;
+  return config;
+}
+
 }  // namespace lp::check

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 
+#include "cluster/fleet.h"
 #include "core/predictor.h"
 #include "fault/fault_plan.h"
 #include "graph/graph.h"
@@ -56,5 +57,22 @@ fault::FaultPlan random_fault_plan(std::uint64_t seed, DurationNs horizon);
 /// policy / admission control / batching / SLOs / arrival processes /
 /// fault plan / timeouts. on_audit is left unset; the caller arms it.
 serve::FleetConfig random_fleet_config(std::uint64_t seed, int level = 0);
+
+/// Randomized control-plane fault schedule within [0, horizon):
+/// heartbeat-loss windows (moderate to brutal probabilities) and possibly
+/// a full blackout window — or nothing. Drops only; a control plan never
+/// crashes servers or straggles the data path.
+fault::FaultPlan random_control_plan(std::uint64_t seed, DurationNs horizon);
+
+/// Randomized small cluster under chaos: 2-4 servers, a skewed tenant
+/// population, a non-oracle failure detector (deadline or phi), lossy
+/// per-server heartbeat channels, a lossy migration interconnect with the
+/// full timeout/retry/abort-to-source machinery armed, random crash
+/// windows, and degrade-to-local wiring. Always a *robust* configuration
+/// (fencing + return_to_source + timeouts) so the cluster conservation
+/// audit is exact — the point of the family is that no chaos schedule can
+/// break it. on_audit is left unset; the caller arms it.
+cluster::ClusterConfig random_cluster_config(std::uint64_t seed,
+                                             int level = 0);
 
 }  // namespace lp::check

@@ -120,14 +120,55 @@ void audit(const cluster::ClusterRouter& router) {
     settled += s.served + s.failed_jobs + s.queue_depth + s.inflight_jobs;
     migrated_out += s.migrated_out;
     migrated_in += s.migrated_in;
+    LP_CHECK_MSG(s.fenced_jobs <= s.failed_jobs,
+                 "fenced jobs are a subset of failed jobs");
   }
   // Cluster-wide conservation: the per-server migration terms cancel
-  // except for jobs currently riding a transfer between servers.
-  LP_CHECK_MSG(admitted == settled + router.in_transit_jobs(),
+  // except for jobs riding a transfer between servers, jobs a dropped
+  // transfer stranded (naive baseline), and stranded jobs a late zombie
+  // copy re-materialized at its target (subtracted: they are stranded no
+  // longer, and are back inside a server's queue/served/failed terms).
+  // With fencing armed, stranded and zombie imports are both zero and
+  // this is plain conservation — it must hold even when lossy heartbeats
+  // make the detector falsely suspect a healthy server.
+  const std::uint64_t slack =
+      router.stranded_jobs() - router.zombie_imports();
+  LP_CHECK_MSG(router.zombie_imports() <= router.stranded_jobs(),
+               "zombie imports cannot exceed the jobs ever stranded");
+  LP_CHECK_MSG(admitted == settled + router.in_transit_jobs() + slack,
                "cluster conservation: sum(admitted) != "
-               "sum(served + failed + queued + in-flight) + in-transit");
-  LP_CHECK_MSG(migrated_out - migrated_in == router.in_transit_jobs(),
-               "migration ledgers out of balance with the in-transit count");
+               "sum(served + failed + queued + in-flight) + in-transit + "
+               "stranded - zombies");
+  LP_CHECK_MSG(migrated_out - migrated_in ==
+                   router.in_transit_jobs() + slack,
+               "migration counters out of balance with the in-transit and "
+               "stranded counts");
+
+  // The exactly-once ledger: open entries carry precisely the in-transit
+  // jobs, and each maps to a binding that is marked migrating.
+  std::size_t open_jobs = 0;
+  std::vector<std::size_t> open_per_session(router.sessions(), 0);
+  for (const cluster::MigrationRecord& m : router.ledger()) {
+    if (m.state != cluster::MigrationRecord::State::kInFlight) continue;
+    open_jobs += m.jobs;
+    LP_CHECK(m.session < router.sessions());
+    ++open_per_session[m.session];
+    LP_CHECK_MSG(m.epoch <= router.binding(m.session).epoch,
+                 "ledger entry epoch ahead of its binding's epoch");
+  }
+  LP_CHECK_MSG(open_jobs == router.in_transit_jobs(),
+               "open ledger entries do not sum to the in-transit count");
+  for (std::uint64_t s = 0; s < router.sessions(); ++s) {
+    const cluster::SessionBinding& b = router.binding(s);
+    LP_CHECK_MSG(open_per_session[s] == (b.migrating ? 1u : 0u),
+                 "migrating bindings and open ledger entries disagree");
+    // Fences are cut from binding epochs, so no server may ever hold a
+    // fence the control plane has not issued — the "no session active on
+    // two servers in the same epoch" guarantee rests on this.
+    for (std::size_t i = 0; i < router.servers(); ++i)
+      LP_CHECK_MSG(router.server(i).session_fence(s) <= b.epoch,
+                   "server fence ahead of the binding epoch");
+  }
 }
 
 namespace {

@@ -51,12 +51,22 @@ void audit(const serve::EdgeServerFrontend& frontend);
 
 /// ClusterRouter: every per-server frontend audit, plus cluster-wide
 /// request conservation — across all servers, every admitted job is
-/// served, failed, queued, in flight on a GPU, or riding a migration
-/// transfer:
+/// served, failed, queued, in flight on a GPU, riding a migration
+/// transfer, or (naive baseline only) stranded by a dropped transfer:
 ///     sum(admitted) == sum(served + failed + queued + in-flight)
-///                      + in_transit_jobs
-/// and the migration ledgers balance the in-transit count exactly:
-///     sum(migrated_out) - sum(migrated_in) == in_transit_jobs.
+///                      + in_transit + stranded - zombie_imports
+/// (a zombie import re-materializes stranded jobs at the target, so they
+/// stop being missing and start being double-counted — the subtraction
+/// keeps the books honest in the naive arm; with fencing both terms are
+/// zero and this is plain conservation, which therefore holds even under
+/// false suspicion and lossy heartbeats). The migration counters balance
+/// the same way:
+///     sum(migrated_out) - sum(migrated_in)
+///         == in_transit + stranded - zombie_imports
+/// and the ledger itself is audited: kInFlight entries' jobs sum to
+/// in_transit_jobs(); a migrating binding has exactly one kInFlight entry
+/// (stamped at or below the binding's epoch) and a settled binding none;
+/// no server's session fence ever runs ahead of the binding's epoch.
 void audit(const cluster::ClusterRouter& router);
 
 /// Migration round-trip equivalence: the two session-state snapshots must

@@ -1,0 +1,60 @@
+// Lossy control-plane channel for heartbeats.
+//
+// PR 6's router read every server's LoadSnapshot as an omniscient oracle.
+// ControlLink turns that read into a modeled message: each heartbeat round
+// the router *sends* the snapshot over a per-server channel that can drop
+// it (FaultPlan packet-loss windows and link blackouts) or delay it by a
+// fixed control-plane latency. The router therefore works from whatever
+// snapshots actually arrived — stale, missing, or out of date — which is
+// exactly the information model the failure detector is built for.
+//
+// ## Determinism contract
+//
+// With no FaultPlan attached and zero delay, send() delivers inline and
+// draws NO random numbers — a chaos-free run is bit-identical to the
+// oracle transport. The rng is consulted only when a plan is attached and
+// the instantaneous loss probability is positive.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "fault/fault_plan.h"
+#include "serve/frontend.h"
+#include "sim/simulator.h"
+
+namespace lp::cluster {
+
+class ControlLink {
+ public:
+  ControlLink(sim::Simulator& sim, DurationNs delay, std::uint64_t seed)
+      : sim_(&sim), delay_(delay), rng_(seed) {}
+
+  /// Wires loss/blackout injection (plan must outlive the link; null
+  /// detaches).
+  void attach_faults(const fault::FaultPlan* plan) { faults_ = plan; }
+
+  using Deliver = std::function<void(const serve::LoadSnapshot&)>;
+
+  /// Sends one heartbeat. Returns false when the message was dropped by a
+  /// blackout or sampled loss; otherwise `deliver` runs inline (delay 0)
+  /// or after the control-plane delay.
+  bool send(const serve::LoadSnapshot& snapshot, Deliver deliver);
+
+  std::uint64_t sent() const { return sent_; }
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t delivered() const { return delivered_; }
+
+ private:
+  sim::Simulator* sim_;
+  DurationNs delay_;
+  const fault::FaultPlan* faults_ = nullptr;
+  Rng rng_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace lp::cluster

@@ -75,6 +75,12 @@ ClusterResult run_cluster(const ClusterConfig& config,
 
   ClusterRouter router(sim, frontend_ptrs, config.router);
   if (config.telemetry != nullptr) router.set_telemetry(config.telemetry);
+  for (std::size_t i = 0;
+       i < config.heartbeat_faults.size() && i < config.servers; ++i)
+    if (!config.heartbeat_faults[i].empty())
+      router.attach_heartbeat_faults(i, &config.heartbeat_faults[i]);
+  if (!config.interconnect_faults.empty())
+    router.attach_interconnect_faults(&config.interconnect_faults);
 
   struct TenantState {
     graph::Graph model;
@@ -157,6 +163,10 @@ ClusterResult run_cluster(const ClusterConfig& config,
                                           std::size_t server) {
     clients[session]->rebind(router.server(server), session);
   });
+  if (config.degrade_to_local)
+    router.set_on_degrade([&clients](bool degraded) {
+      for (auto& client : clients) client->force_local(degraded);
+    });
   router.start();
 
   if (config.on_audit) {
@@ -175,6 +185,16 @@ ClusterResult run_cluster(const ClusterConfig& config,
   result.migrations = router.migrations();
   result.migrated_jobs = router.migrated_jobs();
   result.reroutes = router.reroutes();
+  result.aborted_migrations = router.migrations_aborted();
+  result.migration_retries = router.migration_retries();
+  result.late_imports_rejected = router.late_imports_rejected();
+  result.zombie_imports = router.zombie_imports();
+  result.stranded_jobs = router.stranded_jobs();
+  result.false_reroutes = router.false_reroutes();
+  result.degrade_transitions = router.degrade_transitions();
+  for (const serve::LoadSnapshot& s : result.servers)
+    result.fenced_jobs += s.fenced_jobs;
+  result.death_events = router.detector().death_events();
 
   if (config.telemetry != nullptr) {
     auto& metrics = config.telemetry->metrics();

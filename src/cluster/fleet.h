@@ -22,6 +22,7 @@
 #pragma once
 
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "cluster/router.h"
@@ -42,6 +43,22 @@ struct ClusterConfig {
   /// Per-server fault schedules (server crashes / straggle windows),
   /// indexed by server; shorter than `servers` leaves the rest fault-free.
   std::vector<fault::FaultPlan> server_faults;
+
+  /// Per-server heartbeat-channel fault schedules (loss probability /
+  /// blackout windows on the control plane), indexed by server; empty
+  /// plans are not armed. The router then sees stale snapshots and gaps
+  /// instead of ground truth.
+  std::vector<fault::FaultPlan> heartbeat_faults;
+
+  /// Fault schedule for the migration interconnect (payload loss). A
+  /// non-empty plan requires router.migration_timeout > 0.
+  fault::FaultPlan interconnect_faults;
+
+  /// Wire the router's quorum-loss signal to every client's force_local:
+  /// while the detector sees less than a majority of the fleet, clients
+  /// pin p = n (pure local execution) instead of submitting into a
+  /// control plane that can no longer reroute them.
+  bool degrade_to_local = false;
 
   DurationNs duration = seconds(90);
   DurationNs warmup = seconds(30);
@@ -75,6 +92,21 @@ struct ClusterResult {
   std::uint64_t migrations = 0;
   std::uint64_t migrated_jobs = 0;
   std::uint64_t reroutes = 0;
+  std::uint64_t aborted_migrations = 0;
+  std::uint64_t migration_retries = 0;
+  std::uint64_t late_imports_rejected = 0;
+  std::uint64_t zombie_imports = 0;
+  std::uint64_t stranded_jobs = 0;
+  std::uint64_t false_reroutes = 0;
+  std::uint64_t degrade_transitions = 0;
+
+  /// Sum of the servers' fenced-job counters (zombie completions and
+  /// queued jobs dropped by an epoch fence — a subset of failed jobs).
+  std::uint64_t fenced_jobs = 0;
+
+  /// (server, sim time) per kDead declaration — time-to-detect against a
+  /// known crash schedule.
+  std::vector<std::pair<std::size_t, TimeNs>> death_events;
 
   std::vector<const core::InferenceRecord*> steady(int tenant = -1) const {
     return serve::steady_records(clients, warmup, tenant);

@@ -9,29 +9,43 @@
 //     policy: a consistent-hash ring over the cluster session id
 //     (deterministic, join-order independent, minimal movement), or
 //     least-loaded by predicted queue delay (heartbeat-driven);
-//   * heartbeats — every heartbeat_period the router pulls one coherent
-//     serve::LoadSnapshot per server (queue depth, predicted backlog,
-//     in-flight, conservation counters), the same payload check::audit
-//     verifies, and drives every decision off that stored view;
-//   * crash reroute — sessions homed on a server that misses its
-//     heartbeat (fail-stop crash) are re-placed on an alive server and
-//     their clients redirected; the crash wiped the session state, so the
-//     new home starts cold, exactly like a restart on the old one;
+//   * heartbeats — every heartbeat_period the router *sends itself* one
+//     serve::LoadSnapshot per server over a per-server ControlLink that can
+//     drop or delay it (fault::FaultPlan loss/blackout windows). The router
+//     keeps the last snapshot that actually arrived per server and drives
+//     every decision off that stored — possibly stale — view;
+//   * failure detection — a FailureDetector turns the heartbeat arrival
+//     stream into kAlive / kSuspect / kDead per server (oracle, missed
+//     deadline, or phi-accrual). Suspects keep their sessions but take no
+//     new placements or migrations; only kDead triggers reroute;
+//   * crash reroute — sessions homed on a server declared dead are
+//     re-placed on a usable server and their clients redirected. The
+//     binding's fencing epoch bumps so any zombie completions or state the
+//     presumed-dead server later produces are rejected, not double-served;
 //   * live migration — when rebalancing is on and the predicted-delay skew
-//     between the hottest and coldest alive servers exceeds the threshold,
-//     the router exports the busiest session off the hot server (state
-//     snapshot + every queued job, non-blocking: the in-flight dispatch
-//     finishes where it is), holds the payload for a modeled interconnect
-//     transfer, imports it on the cold server, and redirects the client.
-//     No request is dropped or duplicated: jobs in transit are counted and
-//     the cluster-wide conservation audit (check/invariants.h) balances
-//     admitted against served + failed + queued + in-flight + in-transit
-//     at every heartbeat. The non-blocking export/import shape follows the
-//     Ceph MDS balancer's subtree export protocol.
+//     between the hottest and coldest usable servers exceeds the
+//     threshold, the router exports the busiest session off the hot
+//     server, ships it over a modeled (and optionally lossy) interconnect,
+//     imports it on the cold server, and redirects the client. Every
+//     migration is a ledger entry (id, epoch, source, target, jobs) with a
+//     transfer timeout and bounded retry; an attempt that cannot land
+//     aborts and re-imports the payload at the source, so a lost transfer
+//     never strands queued jobs. Late copies of a superseded transfer
+//     bounce off the target's fencing epoch (or the ledger). The
+//     non-blocking export/import shape follows the Ceph MDS balancer's
+//     subtree export protocol;
+//   * degradation — when the detector can see less than a majority of the
+//     fleet, the router stops rerouting and rebalancing (acting on a
+//     mostly-dark picture is how split-brain thrash starts) and fires the
+//     on_degrade hook, which the fleet wires to the clients' local-only
+//     fallback.
 //
 // Everything is deterministic: decisions read stored snapshots, iteration
-// is over index-ordered vectors, and the transfer delay is a pure function
-// of the modeled payload size. Two same-seed runs are byte-identical.
+// is over index-ordered vectors, transfer delays are pure functions of the
+// modeled payload, and control-plane randomness (loss sampling, retry
+// jitter) comes from a dedicated seeded stream that is never drawn when no
+// fault plan is armed — a chaos-free run is bit-identical to the oracle
+// control plane.
 #pragma once
 
 #include <cstdint>
@@ -39,7 +53,10 @@
 #include <string>
 #include <vector>
 
+#include "cluster/control_link.h"
+#include "cluster/failure_detector.h"
 #include "cluster/hash_ring.h"
+#include "fault/retry.h"
 #include "obs/telemetry.h"
 #include "serve/frontend.h"
 
@@ -80,6 +97,35 @@ struct RouterParams {
 
   /// Virtual nodes per server on the consistent-hash ring.
   std::size_t vnodes = 64;
+
+  /// Failure detection. The default (kOracle) trusts each delivered
+  /// snapshot's alive flag verbatim — exact on a lossless control plane.
+  DetectorParams detector;
+
+  /// One-way latency of the heartbeat channel (0 = delivered inline at
+  /// the send instant).
+  DurationNs control_delay = 0;
+
+  /// Migration reliability. A timeout of 0 trusts the interconnect: a
+  /// transfer is never declared lost (attaching an interconnect fault plan
+  /// therefore requires a timeout). With a timeout, an attempt that has
+  /// not landed in time is retried up to migration_max_retries times with
+  /// migration_backoff between attempts; a spent budget aborts the
+  /// migration.
+  DurationNs migration_timeout = 0;
+  int migration_max_retries = 0;
+  fault::BackoffPolicy migration_backoff;
+
+  /// On abort, re-import the exported payload at the source so its queued
+  /// jobs settle there (exactly-once). false = naive baseline: the payload
+  /// is gone and its jobs are stranded — the chaos bench's measurable-loss
+  /// arm.
+  bool return_to_source = true;
+
+  /// Seeds the router's control-plane randomness (per-link heartbeat-loss
+  /// sampling, migration-loss sampling, retry jitter). Never drawn when no
+  /// fault plan is attached.
+  std::uint64_t control_seed = 0xc0117201;
 };
 
 /// Where a cluster session currently lives. The local session id equals
@@ -89,6 +135,29 @@ struct SessionBinding {
   std::size_t server = 0;
   bool migrating = false;   ///< an export/import is in flight
   TimeNs last_move = 0;     ///< when it last migrated (dwell pinning)
+  /// Fencing epoch: bumped on every reroute, migration start, migration
+  /// abort, and mid-flight cancellation. Servers reject session state and
+  /// completions stamped with an older epoch (see
+  /// serve::EdgeServerFrontend::fence_session); the migrate coroutine also
+  /// reads a concurrent bump as a cancellation token.
+  std::uint64_t epoch = 0;
+};
+
+/// One migration in the exactly-once ledger. kInFlight entries' jobs sum
+/// to in_transit_jobs() at every instant (audited); a terminal entry is
+/// either committed at the target or aborted back to the source — the
+/// naive baseline (return_to_source = false) instead drops the payload
+/// (kDropped) and strands its jobs.
+struct MigrationRecord {
+  std::uint64_t id = 0;
+  std::uint64_t session = 0;
+  std::uint64_t epoch = 0;  ///< fencing epoch stamped on the transfer
+  std::size_t source = 0;
+  std::size_t target = 0;
+  std::size_t jobs = 0;
+  enum class State : std::uint8_t { kInFlight, kCommitted, kAborted, kDropped };
+  State state = State::kInFlight;
+  int attempts = 0;
 };
 
 class ClusterRouter {
@@ -113,6 +182,23 @@ class ClusterRouter {
     redirect_ = std::move(redirect);
   }
 
+  /// Degradation hook: fired with true when the detector loses sight of a
+  /// majority of the fleet (the router then freezes reroute/rebalance) and
+  /// with false when quorum returns. The fleet wires this to
+  /// core::OffloadClient::force_local.
+  void set_on_degrade(std::function<void(bool)> on_degrade) {
+    on_degrade_ = std::move(on_degrade);
+  }
+
+  /// Arms loss/delay/blackout on one server's heartbeat channel (plan must
+  /// outlive the router; null detaches).
+  void attach_heartbeat_faults(std::size_t server,
+                               const fault::FaultPlan* plan);
+
+  /// Arms loss/blackout on the migration interconnect. Requires a
+  /// migration_timeout (a lost transfer must be discoverable).
+  void attach_interconnect_faults(const fault::FaultPlan* plan);
+
   /// Spawns the heartbeat loop (call once, after sessions are wired).
   void start();
 
@@ -131,16 +217,46 @@ class ClusterRouter {
   const RouterParams& params() const { return params_; }
   const HashRing& ring() const { return ring_; }
 
-  /// The snapshots from the most recent heartbeat (empty before the
-  /// first); decisions and the cluster audit read these.
+  /// The last snapshot that *arrived* per server (default-constructed
+  /// before the first delivery; empty before the first heartbeat round).
+  /// Decisions and the cluster audit read these — under heartbeat loss
+  /// they are stale, which is the point.
   const std::vector<serve::LoadSnapshot>& last_heartbeat() const {
     return last_heartbeat_;
   }
+
+  const FailureDetector& detector() const { return detector_; }
+  const ControlLink& control_link(std::size_t server) const;
+
+  /// The migration ledger, append-only in start order.
+  const std::vector<MigrationRecord>& ledger() const { return ledger_; }
 
   std::uint64_t heartbeats() const { return heartbeats_; }
   std::uint64_t migrations() const { return migrations_; }
   std::uint64_t migrated_jobs() const { return migrated_jobs_; }
   std::uint64_t reroutes() const { return reroutes_; }
+  /// Migrations that ended kAborted or kDropped (lost / timed out past the
+  /// retry budget / cancelled because the target died mid-flight).
+  std::uint64_t migrations_aborted() const { return migrations_aborted_; }
+  /// Re-sends of a migration payload after a transfer timeout.
+  std::uint64_t migration_retries() const { return migration_retries_; }
+  /// Late transfer copies rejected (by the target's fence or the ledger).
+  std::uint64_t late_imports_rejected() const {
+    return late_imports_rejected_;
+  }
+  /// Late copies the target absorbed because nothing fenced them — only
+  /// possible in the naive baseline; a double execution each.
+  std::uint64_t zombie_imports() const { return zombie_imports_; }
+  /// Jobs abandoned by dropped transfers (naive baseline only; always 0
+  /// with return_to_source).
+  std::uint64_t stranded_jobs() const { return stranded_jobs_; }
+  /// Reroutes of sessions whose server was in fact alive (ground-truth
+  /// instrumentation of false suspicion; the run stays correct, the
+  /// reroute was merely unnecessary).
+  std::uint64_t false_reroutes() const { return false_reroutes_; }
+  /// Transitions into / out of the degraded (quorum-lost) state.
+  std::uint64_t degrade_transitions() const { return degrade_transitions_; }
+  bool degraded() const { return degraded_; }
 
   /// Queued jobs currently riding a migration transfer between servers —
   /// exported (counted migrated-out) but not yet imported. The cluster
@@ -156,13 +272,19 @@ class ClusterRouter {
  private:
   sim::Task heartbeat_loop();
   void collect_heartbeat();
+  void on_heartbeat(std::size_t server, const serve::LoadSnapshot& snapshot);
+  void update_membership();
   void reroute_dead_sessions();
   void maybe_rebalance();
-  /// Least-loaded alive server (ties: fewer homed sessions, lower index).
+  sim::Task late_delivery(std::uint64_t id, std::uint64_t session,
+                          std::size_t target, serve::SessionExport ex,
+                          DurationNs wire);
+  MigrationRecord* find_migration(std::uint64_t id);
+  const MigrationRecord* active_migration(std::uint64_t session) const;
+  /// Least-loaded usable server (ties: fewer homed sessions, lower index).
   std::size_t least_loaded_server(
       const std::vector<serve::LoadSnapshot>& loads) const;
-  std::size_t alive_count(
-      const std::vector<serve::LoadSnapshot>& loads) const;
+  std::size_t usable_count() const;
   void redirect(std::uint64_t session, std::size_t server);
 
   sim::Simulator* sim_;
@@ -172,13 +294,29 @@ class ClusterRouter {
   std::vector<SessionBinding> bindings_;  ///< by cluster session id
   std::vector<std::size_t> homed_;        ///< sessions homed per server
   std::vector<serve::LoadSnapshot> last_heartbeat_;
+  std::vector<ControlLink> links_;  ///< per-server heartbeat channel
+  FailureDetector detector_;
+  const fault::FaultPlan* interconnect_faults_ = nullptr;
+  Rng rng_;  ///< migration loss sampling + retry jitter only
   std::function<void(std::uint64_t, std::size_t)> redirect_;
+  std::function<void(bool)> on_degrade_;
   bool started_ = false;
+  bool degraded_ = false;
+
+  std::vector<MigrationRecord> ledger_;
+  std::uint64_t next_migration_id_ = 0;
 
   std::uint64_t heartbeats_ = 0;
   std::uint64_t migrations_ = 0;
   std::uint64_t migrated_jobs_ = 0;
   std::uint64_t reroutes_ = 0;
+  std::uint64_t migrations_aborted_ = 0;
+  std::uint64_t migration_retries_ = 0;
+  std::uint64_t late_imports_rejected_ = 0;
+  std::uint64_t zombie_imports_ = 0;
+  std::uint64_t stranded_jobs_ = 0;
+  std::uint64_t false_reroutes_ = 0;
+  std::uint64_t degrade_transitions_ = 0;
   std::size_t in_transit_jobs_ = 0;
 
   obs::Telemetry* telemetry_ = nullptr;

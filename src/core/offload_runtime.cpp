@@ -293,6 +293,13 @@ sim::Task OffloadClient::infer(InferenceRecord* out) {
   InferenceRecord rec;
   rec.start = sim_->now();
   Decision decision = current_decision();
+  // Cluster degradation: the router lost control-plane quorum and pinned
+  // every client to device-local execution until it can see a majority
+  // again (cheaper than thrashing reroutes against unknown servers).
+  if (forced_local_ && decision.p < n) {
+    decision =
+        Decision{n, profile_->predicted_latency(n, 1.0, estimator_.estimate())};
+  }
   // An open circuit breaker pins the policy to local-only until the
   // cooldown admits a half-open probe.
   if (decision.p < n && breaker_.enabled() &&
@@ -484,9 +491,13 @@ sim::Task OffloadClient::infer(InferenceRecord* out) {
                           ? FailureKind::kLinkDrop
                           : FailureKind::kTimeout;
           } else {
-            failure = reply->status == SuffixStatus::kServerDown
-                          ? FailureKind::kServerDown
-                          : FailureKind::kTimeout;
+            // kFenced means the serving placement was superseded while the
+            // job waited — from the client's side that is the same "this
+            // endpoint cannot answer" fault as a crash: retry (the rebind
+            // hook has usually moved the endpoint already) or fall back.
+            failure = reply->status == SuffixStatus::kClientTimeout
+                          ? FailureKind::kTimeout
+                          : FailureKind::kServerDown;
           }
         }
       }

@@ -154,6 +154,8 @@ enum class SuffixStatus : std::uint8_t {
   kServed,
   kServerDown,     ///< the server crashed before the result was ready
   kClientTimeout,  ///< the client's RPC deadline expired while waiting
+  kFenced,         ///< rejected by the session's fencing epoch (the job
+                   ///< belongs to a superseded placement; retry elsewhere)
 };
 
 struct SuffixRequest {
@@ -280,6 +282,13 @@ class OffloadClient {
   /// the new server starts without this model's weights.
   void rebind(SuffixService& server, std::uint64_t session);
 
+  /// Cluster-degradation override: while set, every decision is pinned to
+  /// p = n (pure local execution) without touching the breaker or the
+  /// cached k — the router raises it on quorum loss and clears it when the
+  /// control plane can see a majority again.
+  void force_local(bool on) { forced_local_ = on; }
+  bool forced_local() const { return forced_local_; }
+
   std::uint64_t session() const { return session_; }
   const SuffixService* server() const { return server_; }
 
@@ -320,6 +329,7 @@ class OffloadClient {
   /// at a time (callers may still issue them concurrently).
   sim::Resource infer_slot_;
   fault::CircuitBreaker breaker_;
+  bool forced_local_ = false;
   double k_cached_ = 1.0;
   bool k_fetched_once_ = false;
   /// Parameter nodes already shipped to the server (weights_preloaded =

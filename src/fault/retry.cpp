@@ -23,8 +23,9 @@ CircuitBreaker::CircuitBreaker(int failure_threshold, DurationNs cooldown)
 }
 
 CircuitBreaker::State CircuitBreaker::state(TimeNs now) const {
+  const TimeNs t = observed(now);
   if (!open_) return State::kClosed;
-  return now >= opened_at_ + cooldown_ ? State::kHalfOpen : State::kOpen;
+  return t >= opened_at_ + cooldown_ ? State::kHalfOpen : State::kOpen;
 }
 
 bool CircuitBreaker::allow(TimeNs now) {
@@ -54,11 +55,11 @@ void CircuitBreaker::record_failure(TimeNs now) {
   if (open_) {
     // The half-open probe failed (or a straggling attempt resolved after
     // the breaker opened): restart the cooldown.
-    opened_at_ = now;
+    opened_at_ = observed(now);
     probe_in_flight_ = false;
   } else if (consecutive_failures_ >= threshold_) {
     open_ = true;
-    opened_at_ = now;
+    opened_at_ = observed(now);
     probe_in_flight_ = false;
   }
 }

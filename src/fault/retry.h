@@ -42,6 +42,12 @@ class CircuitBreaker {
   /// True when an attempt may proceed. In the half-open state this admits
   /// exactly one probe; further calls return false until the probe's
   /// outcome is recorded.
+  ///
+  /// Time is clamped internally to the maximum ever observed: sim tasks
+  /// can resume out of order and hand in a stale `now`, and without the
+  /// clamp state(now) and allow(now) could disagree across such calls
+  /// (half-open for one caller, open again for an earlier-stamped one).
+  /// The breaker's clock never runs backwards.
   bool allow(TimeNs now);
 
   /// The attempt succeeded: close the breaker and clear the failure run.
@@ -57,12 +63,20 @@ class CircuitBreaker {
   bool enabled() const { return threshold_ > 0; }
 
  private:
+  /// Monotonic view of the caller's clock (mutable: state() is logically
+  /// const but still advances the high-water mark).
+  TimeNs observed(TimeNs now) const {
+    if (now > horizon_) horizon_ = now;
+    return horizon_;
+  }
+
   int threshold_;
   DurationNs cooldown_;
   int consecutive_failures_ = 0;
   bool open_ = false;
   bool probe_in_flight_ = false;
   TimeNs opened_at_ = 0;
+  mutable TimeNs horizon_ = 0;
 };
 
 }  // namespace lp::fault

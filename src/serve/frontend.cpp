@@ -97,6 +97,7 @@ LoadSnapshot EdgeServerFrontend::load_snapshot() const {
   s.crashes = crashes_;
   s.migrated_in = migrated_in_;
   s.migrated_out = migrated_out_;
+  s.fenced_jobs = fenced_jobs_;
   return s;
 }
 
@@ -160,9 +161,22 @@ SessionExport EdgeServerFrontend::export_session(std::uint64_t session) {
   return ex;
 }
 
-void EdgeServerFrontend::import_session(std::uint64_t session,
+bool EdgeServerFrontend::import_session(std::uint64_t session,
                                         SessionExport ex) {
   LP_CHECK(session < sessions_.size());
+  if (ex.epoch < sessions_[session].fence) {
+    // Zombie payload: a newer fence already superseded this transfer (the
+    // migration was aborted or the session re-homed). The caller keeps
+    // ownership of the jobs; nothing here is touched.
+    ++rejected_imports_;
+    if (auto* tr = trace())
+      tr->instant(track_, "import-rejected", sim_->now(),
+                  obs::TraceArgs()
+                      .arg("session", session)
+                      .arg("epoch", ex.epoch)
+                      .arg("fence", sessions_[session].fence));
+    return false;
+  }
   if (!down_) {
     Session& s = sessions_[session];
     s.k.import_state(ex.state.k);
@@ -173,6 +187,7 @@ void EdgeServerFrontend::import_session(std::uint64_t session,
   for (QueuedJob& job : ex.jobs) {
     job.session = session;
     job.seq = next_seq_++;
+    job.epoch = ex.epoch;
     ++migrated_in_;
     if (down_) {
       // Fail-stop target: the job must not hang in limbo. It counts as
@@ -204,6 +219,59 @@ void EdgeServerFrontend::import_session(std::uint64_t session,
     }
   }
   if (!down_ && jobs > 0) work_arrived_.trigger();
+  return true;
+}
+
+std::size_t EdgeServerFrontend::fence_session(std::uint64_t session,
+                                              std::uint64_t epoch) {
+  LP_CHECK(session < sessions_.size());
+  Session& s = sessions_[session];
+  if (epoch <= s.fence) return 0;  // raising-only, idempotent
+  s.fence = epoch;
+
+  // Queued jobs from the superseded placement die typed: the client
+  // retries at the session's new home. Jobs already stamped with the new
+  // epoch (an accepted import racing the fence) survive and re-enter the
+  // queue past the capacity bound — they were admitted once already.
+  std::size_t fenced = 0;
+  for (QueuedJob& job : queue_.take_session(session)) {
+    if (job.epoch >= epoch) {
+      queue_.push_migrated(job);
+      continue;
+    }
+    ++fenced;
+    ++failed_jobs_;
+    ++fenced_jobs_;
+    if (job.status != nullptr) *job.status = core::SuffixStatus::kFenced;
+    if (auto* tr = trace())
+      tr->async_end(track_, "queue-wait", job.seq, sim_->now());
+    if (!job.done->triggered()) job.done->trigger();
+  }
+  // The in-flight dispatch, if it holds the session, is fenced at
+  // completion (execute_batch re-checks job.epoch against the fence).
+  // Volatile state resets: a zombie's windows describe a placement the
+  // session has left.
+  s.k = core::LoadFactorTracker(runtime_.k_window);
+  s.cache.clear();
+  s.cache.reset_stats();
+  s.bandwidth = net::BandwidthEstimator(runtime_.bandwidth_window);
+  if (telemetry_ != nullptr) {
+    if (fenced > 0) failed_counter_->add(std::int64_t(fenced));
+    if (auto* tr = trace()) {
+      tr->instant(track_, "fence-session", sim_->now(),
+                  obs::TraceArgs()
+                      .arg("session", session)
+                      .arg("epoch", epoch)
+                      .arg("fenced_jobs", fenced));
+      observe_queue_depth();
+    }
+  }
+  return fenced;
+}
+
+std::uint64_t EdgeServerFrontend::session_fence(std::uint64_t session) const {
+  LP_CHECK(session < sessions_.size());
+  return sessions_[session].fence;
 }
 
 void EdgeServerFrontend::set_telemetry(obs::Telemetry* telemetry,
@@ -292,6 +360,7 @@ core::SubmitStatus EdgeServerFrontend::submit(core::SuffixRequest request) {
   job.queue_wait_seconds = request.queue_wait_seconds;
   job.status = request.status;
   job.keepalive = request.keepalive;
+  job.epoch = session.fence;
   LP_CHECK(queue_.push(job));
   ++admitted_;
   ++session.admitted;
@@ -418,24 +487,22 @@ sim::Task EdgeServerFrontend::execute_batch(std::vector<QueuedJob> batch) {
   const TimeNs finished = sim_->now();
 
   ++dispatches_;
-  served_ += batch.size();
-  if (batch.size() > 1) {
-    ++batched_dispatches_;
-    batched_jobs_ += batch.size();
-  }
-  if (telemetry_ != nullptr) {
-    served_counter_->add(std::int64_t(batch.size()));
-    if (auto* tr = trace())
-      tr->span(track_, "suffix-exec", begin, finished,
-               obs::TraceArgs()
-                   .arg("batch", batch.size())
-                   .arg("p", p)
-                   .arg("exec_ms", exec * 1e3));
-  }
-
   const double predicted = profile.suffix_g(p);
+  std::size_t served_now = 0;
   for (const QueuedJob& job : batch) {
     if (job.exec_seconds != nullptr) *job.exec_seconds = exec;
+    // Epoch fence: the session was fenced (rerouted or its migration
+    // aborted) while this dispatch sat on the GPU — the completion comes
+    // from a superseded placement and must not count as served or feed the
+    // (reset) k window.
+    if (job.epoch < sessions_[job.session].fence) {
+      ++failed_jobs_;
+      ++fenced_jobs_;
+      if (job.status != nullptr) *job.status = core::SuffixStatus::kFenced;
+      if (!job.done->triggered()) job.done->trigger();
+      continue;
+    }
+    ++served_now;
     // The session's k tracks the full service time (queue wait included):
     // at the frontend, load manifests as queueing, and k is the signal
     // that carries it back into the client's partition decision.
@@ -453,6 +520,22 @@ sim::Task EdgeServerFrontend::execute_batch(std::vector<QueuedJob> batch) {
       if (job.status != nullptr) *job.status = core::SuffixStatus::kServed;
       job.done->trigger();
     }
+  }
+  served_ += served_now;
+  if (batch.size() > 1) {
+    ++batched_dispatches_;
+    batched_jobs_ += served_now;
+  }
+  if (telemetry_ != nullptr) {
+    served_counter_->add(std::int64_t(served_now));
+    if (served_now < batch.size())
+      failed_counter_->add(std::int64_t(batch.size() - served_now));
+    if (auto* tr = trace())
+      tr->span(track_, "suffix-exec", begin, finished,
+               obs::TraceArgs()
+                   .arg("batch", batch.size())
+                   .arg("p", p)
+                   .arg("exec_ms", exec * 1e3));
   }
   in_flight_sec_ = 0.0;
   inflight_ = nullptr;

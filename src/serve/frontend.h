@@ -75,6 +75,7 @@ struct LoadSnapshot {
   std::uint64_t crashes = 0;
   std::uint64_t migrated_in = 0;   ///< jobs imported via session migration
   std::uint64_t migrated_out = 0;  ///< jobs exported via session migration
+  std::uint64_t fenced_jobs = 0;   ///< zombie jobs rejected by epoch fence
 };
 
 /// The volatile per-session state a live migration carries to the new
@@ -93,6 +94,10 @@ struct SessionExport {
   SessionState state;
   std::vector<QueuedJob> jobs;  ///< arrival order
   std::int64_t bytes = 0;       ///< modeled transfer payload
+  /// Fencing epoch the router stamps on the transfer; the importer rejects
+  /// the payload when its session fence has already moved past it (a late
+  /// duplicate of an aborted or superseded migration).
+  std::uint64_t epoch = 0;
 };
 
 class EdgeServerFrontend : public core::SuffixService {
@@ -162,6 +167,10 @@ class EdgeServerFrontend : public core::SuffixService {
   std::uint64_t migrated_in() const { return migrated_in_; }
   /// Jobs handed over through export_session (migrated out).
   std::uint64_t migrated_out() const { return migrated_out_; }
+  /// Zombie jobs killed by the epoch fence (subset of failed_jobs).
+  std::uint64_t fenced_jobs() const { return fenced_jobs_; }
+  /// Stale session imports rejected by the epoch fence.
+  std::uint64_t rejected_imports() const { return rejected_imports_; }
 
   /// One coherent snapshot of load and conservation counters: the cluster
   /// heartbeat payload and the invariant layer's single read.
@@ -189,7 +198,22 @@ class EdgeServerFrontend : public core::SuffixService {
   /// admitted once already; counted migrated-in). Importing into a crashed
   /// server fails the jobs with kServerDown instead — migration never turns
   /// into a hang — and drops the state (a crash wipes it anyway).
-  void import_session(std::uint64_t session, SessionExport ex);
+  /// Returns false — touching NO counters or jobs — when the export's
+  /// fencing epoch is older than the session's current fence: a zombie
+  /// duplicate of a superseded transfer, which the caller still owns.
+  bool import_session(std::uint64_t session, SessionExport ex);
+
+  /// Raises the session's fencing epoch (idempotent, raising-only; a lower
+  /// or equal epoch is a no-op). Every queued job of the session stamped
+  /// with an older epoch fails typed kFenced — the client retries at the
+  /// session's new home — and the in-flight dispatch's members are fenced
+  /// at completion. Volatile session state resets: a zombie's windows
+  /// describe a placement the session has left. Returns the number of
+  /// queued jobs fenced.
+  std::size_t fence_session(std::uint64_t session, std::uint64_t epoch);
+
+  /// The session's current fencing epoch.
+  std::uint64_t session_fence(std::uint64_t session) const;
 
   const partition::PartitionCache& session_cache(std::uint64_t session) const;
   const core::LoadFactorTracker& session_tracker(std::uint64_t session) const;
@@ -225,6 +249,9 @@ class EdgeServerFrontend : public core::SuffixService {
     std::uint64_t submitted = 0;
     std::uint64_t admitted = 0;
     std::uint64_t shed = 0;
+    /// Fencing epoch: raised by fence_session / accepted imports; jobs
+    /// carry the fence at admission and die (kFenced) when it moves on.
+    std::uint64_t fence = 0;
   };
 
   sim::Task service();
@@ -265,6 +292,8 @@ class EdgeServerFrontend : public core::SuffixService {
   std::uint64_t refused_ = 0;
   std::uint64_t migrated_in_ = 0;
   std::uint64_t migrated_out_ = 0;
+  std::uint64_t fenced_jobs_ = 0;
+  std::uint64_t rejected_imports_ = 0;
 
   // Telemetry (optional; null = fully off). Handles resolved once in
   // set_telemetry so the submit/dispatch paths stay O(1).

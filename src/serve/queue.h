@@ -44,6 +44,11 @@ struct QueuedJob {
   double* overhead_seconds = nullptr;
   double* queue_wait_seconds = nullptr;
   core::SuffixStatus* status = nullptr;  ///< typed fate (served/server-down)
+  /// Fencing epoch stamped at admission (the session's fence at that
+  /// moment) and re-stamped on migration import. A job whose epoch is
+  /// older than its session's current fence is a zombie — its completion
+  /// is rejected instead of being served from a superseded placement.
+  std::uint64_t epoch = 0;
   /// Keeps the client's reply block alive even if the client abandons the
   /// attempt (timeout): a crash or late completion then still writes into
   /// live memory.

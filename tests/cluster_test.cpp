@@ -245,6 +245,82 @@ TEST(SessionMigration, ImportIntoCrashedServerFailsJobsInsteadOfHanging) {
   check::audit(h.router);
 }
 
+TEST(SessionMigration, CrashTargetMidTransferRehomesAndSettles) {
+  // Regression: the reroute loop used to skip every `migrating` session,
+  // so a migration whose *target* crashed mid-transfer waited out the full
+  // wire time and dumped its jobs into the corpse. The router must cancel
+  // the transfer (epoch bump) and abort it back to the source instead.
+  RouterParams params;
+  params.heartbeat_period = milliseconds(100);
+  params.migration_bandwidth = mbps(0.01);  // slow wire: ~1 s in transfer
+  ClusterHarness h(params);
+  const std::uint64_t s = h.router.open_session(h.profile);
+
+  std::vector<std::unique_ptr<PendingRequest>> reqs;
+  for (int i = 0; i < 5; ++i) {
+    reqs.push_back(std::make_unique<PendingRequest>(h.sim));
+    ASSERT_EQ(h.a.submit(reqs.back()->request(s, 5)),
+              core::SubmitStatus::kAccepted);
+  }
+  h.router.start();
+  h.sim.spawn(h.router.migrate(s, 1));
+  // The target dies while the payload is on the wire; the next heartbeat
+  // sees it and must cancel the in-flight transfer.
+  h.sim.call_after(milliseconds(50), [&] { h.b.crash(); });
+  h.sim.run_until(seconds(60));
+
+  // Every job settled — served at the source, none stranded in transit,
+  // none dumped into the crashed target.
+  for (const auto& r : reqs) {
+    EXPECT_TRUE(r->done.triggered());
+    EXPECT_EQ(r->suffix_status, core::SuffixStatus::kServed);
+  }
+  EXPECT_EQ(h.router.binding(s).server, 0u);
+  EXPECT_FALSE(h.router.binding(s).migrating);
+  EXPECT_EQ(h.router.in_transit_jobs(), 0u);
+  EXPECT_EQ(h.router.migrations_aborted(), 1u);
+  EXPECT_EQ(h.b.served(), 0u);
+  check::audit(h.router);
+}
+
+sim::Task oscillating_load(ClusterHarness& h, std::uint64_t session,
+                           std::vector<std::unique_ptr<PendingRequest>>& reqs,
+                           DurationNs period) {
+  // Follow the binding: the burst always lands on the *current* home, so
+  // whichever server holds the session is hot and the other cold — the
+  // adversarial schedule that makes an undamped rebalancer ping-pong.
+  for (;;) {
+    const std::size_t home = h.router.binding(session).server;
+    for (int i = 0; i < 3; ++i) {
+      reqs.push_back(std::make_unique<PendingRequest>(h.sim));
+      h.router.server(home).submit(reqs.back()->request(session, 5));
+    }
+    co_await h.sim.delay(period);
+  }
+}
+
+TEST(Rebalancer, MinDwellBoundsMigrationsUnderOscillatingLoad) {
+  RouterParams params;
+  params.heartbeat_period = milliseconds(100);
+  params.rebalance = true;
+  params.skew_threshold_sec = 0.01;
+  params.min_dwell = seconds(2);
+  ClusterHarness h(params);
+  const std::uint64_t s = h.router.open_session(h.profile);
+
+  std::vector<std::unique_ptr<PendingRequest>> reqs;
+  h.sim.spawn(oscillating_load(h, s, reqs, params.heartbeat_period));
+  h.router.start();
+  h.sim.run_until(seconds(10));  // 100 heartbeats
+
+  // The skew flips back every time the session moves, so an undamped
+  // rebalancer would migrate nearly every heartbeat (~100 moves). The
+  // dwell pin bounds it to duration / min_dwell plus the first move.
+  EXPECT_GE(h.router.migrations(), 2u);
+  EXPECT_LE(h.router.migrations(), 6u);
+  check::audit(h.router);
+}
+
 // ------------------------------------------------------- run_cluster --
 
 ClusterConfig base_config(std::uint64_t seed) {

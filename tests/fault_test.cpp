@@ -121,6 +121,26 @@ TEST(CircuitBreaker, ProbeSuccessCloses) {
   EXPECT_EQ(breaker.consecutive_failures(), 0);
 }
 
+TEST(CircuitBreaker, NonMonotonicNowIsClampedToTheHighWaterMark) {
+  // Sim tasks can resume out of order and hand the breaker a stale `now`.
+  // The breaker's clock must never run backwards: once a call has observed
+  // t=16 (half-open), an earlier-stamped call must not see kOpen again —
+  // state(now) and allow(now) stay consistent across the reordering.
+  CircuitBreaker breaker(2, seconds(5));
+  breaker.record_failure(seconds(9));
+  breaker.record_failure(seconds(10));  // open at t=10, cooldown to t=15
+  EXPECT_EQ(breaker.state(seconds(16)), CircuitBreaker::State::kHalfOpen);
+  // A straggler stamped t=12 arrives after the t=16 observation.
+  EXPECT_EQ(breaker.state(seconds(12)), CircuitBreaker::State::kHalfOpen);
+  EXPECT_TRUE(breaker.allow(seconds(12)));   // the probe, not a refusal
+  EXPECT_FALSE(breaker.allow(seconds(12)));  // probe outstanding
+  // A stale-stamped probe failure re-opens *from the high-water mark*,
+  // not from the stale instant: cooldown runs t=16..21, not t=12..17.
+  breaker.record_failure(seconds(12));
+  EXPECT_EQ(breaker.state(seconds(18)), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.state(seconds(21)), CircuitBreaker::State::kHalfOpen);
+}
+
 TEST(CircuitBreaker, ProbeFailureReopensAndRestartsCooldown) {
   CircuitBreaker breaker(2, seconds(5));
   breaker.record_failure(seconds(1));

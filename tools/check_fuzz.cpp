@@ -6,7 +6,8 @@
 // levels (smaller graphs, shorter op sequences, shorter fleet runs) and
 // prints the smallest still-failing instance with a replay command:
 //
-//   check_fuzz [--seed N] [--cases N] [--kind decision|cache|queue|fleet]
+//   check_fuzz [--seed N] [--cases N]
+//              [--kind decision|cache|queue|fleet|cluster]
 //   check_fuzz --kind queue --replay 0x1234abcd [--level 2]
 //
 // Exit code 0 = every case passed, 1 = a divergence / invariant violation
@@ -39,8 +40,9 @@ struct Options {
 };
 
 bool parse_kind(const char* name, CaseKind* out) {
-  for (CaseKind kind : {CaseKind::kDecision, CaseKind::kCache,
-                        CaseKind::kQueue, CaseKind::kFleet}) {
+  for (CaseKind kind :
+       {CaseKind::kDecision, CaseKind::kCache, CaseKind::kQueue,
+        CaseKind::kFleet, CaseKind::kCluster}) {
     if (std::strcmp(name, lp::check::case_kind_name(kind)) == 0) {
       *out = kind;
       return true;
@@ -53,7 +55,7 @@ bool parse_kind(const char* name, CaseKind* out) {
   std::fprintf(
       stderr,
       "usage: check_fuzz [--seed N] [--cases N] "
-      "[--kind decision|cache|queue|fleet]\n"
+      "[--kind decision|cache|queue|fleet|cluster]\n"
       "       check_fuzz --kind K --replay CASE_SEED [--level L]\n");
   std::exit(2);
 }
@@ -140,14 +142,15 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  // Round-robin with fleet under-weighted: a fleet case simulates seconds
-  // of cluster time and costs ~100x a decision case.
+  // Round-robin with fleet and cluster under-weighted: a fleet or cluster
+  // case simulates seconds of sim time and costs ~100x a decision case.
   const std::vector<CaseKind> cycle = {
       CaseKind::kDecision, CaseKind::kCache, CaseKind::kQueue,
       CaseKind::kDecision, CaseKind::kCache, CaseKind::kQueue,
-      CaseKind::kDecision, CaseKind::kFleet};
+      CaseKind::kDecision, CaseKind::kFleet,  CaseKind::kDecision,
+      CaseKind::kCache,    CaseKind::kQueue,  CaseKind::kCluster};
 
-  std::uint64_t per_kind[4] = {0, 0, 0, 0};
+  std::uint64_t per_kind[5] = {0, 0, 0, 0, 0};
   for (std::uint64_t i = 0; i < opts.cases; ++i) {
     const CaseKind kind =
         opts.has_kind ? opts.kind : cycle[i % cycle.size()];
@@ -165,12 +168,13 @@ int main(int argc, char** argv) {
   }
 
   std::printf("OK: %llu cases (decision %llu, cache %llu, queue %llu, "
-              "fleet %llu), seed %llu\n",
+              "fleet %llu, cluster %llu), seed %llu\n",
               static_cast<unsigned long long>(opts.cases),
               static_cast<unsigned long long>(per_kind[0]),
               static_cast<unsigned long long>(per_kind[1]),
               static_cast<unsigned long long>(per_kind[2]),
               static_cast<unsigned long long>(per_kind[3]),
+              static_cast<unsigned long long>(per_kind[4]),
               static_cast<unsigned long long>(opts.seed));
   return 0;
 }
