@@ -2,52 +2,24 @@
 // computation load ramps 0% -> 30 -> 50 -> 70 -> 90 -> 100%(l) -> 100%(h)
 // and then drops back to idle, comparing LoADPart against the Neurosurgeon
 // baseline (bandwidth-aware, load-oblivious) at a fixed 8 Mbps uplink.
+//
+// Emits BENCH_fig9.json through obs::Report (per-phase rows + headline
+// scalars); the per-inference CSV series stay gated on LP_CSV_DIR.
 #include <algorithm>
 #include <cstdio>
 #include <map>
+#include <string>
 
 #include "common/table.h"
-#include "series_report.h"
 #include "core/system.h"
+#include "load_schedule.h"
 #include "models/zoo.h"
+#include "obs/report.h"
+#include "series_report.h"
 
 namespace {
 
 using namespace lp;
-
-struct Phase {
-  const char* label;
-  TimeNs begin;
-  TimeNs end;
-};
-
-const std::vector<core::LoadPhase>& schedule() {
-  static const std::vector<core::LoadPhase> s = {
-      {0, hw::LoadLevel::k0},
-      {seconds(30), hw::LoadLevel::k30},
-      {seconds(60), hw::LoadLevel::k50},
-      {seconds(90), hw::LoadLevel::k70},
-      {seconds(120), hw::LoadLevel::k90},
-      {seconds(150), hw::LoadLevel::k100l},
-      {seconds(190), hw::LoadLevel::k100h},
-      {seconds(220), hw::LoadLevel::k0},  // recovery
-  };
-  return s;
-}
-
-const std::vector<Phase>& phases() {
-  static const std::vector<Phase> p = {
-      {"0%", 0, seconds(30)},
-      {"30%", seconds(30), seconds(60)},
-      {"50%", seconds(60), seconds(90)},
-      {"70%", seconds(90), seconds(120)},
-      {"90%", seconds(120), seconds(150)},
-      {"100%(l)", seconds(150), seconds(190)},
-      {"100%(h)", seconds(190), seconds(220)},
-      {"recovery", seconds(220), seconds(280)},
-  };
-  return p;
-}
 
 struct PhaseStats {
   double mean_ms = 0.0;
@@ -56,7 +28,8 @@ struct PhaseStats {
   int count = 0;
 };
 
-PhaseStats stats_in(const core::ExperimentResult& result, const Phase& ph) {
+PhaseStats stats_in(const core::ExperimentResult& result,
+                    const benchutil::LoadPhaseSpan& ph) {
   PhaseStats out;
   std::map<std::size_t, int> counts;
   double total = 0.0;
@@ -80,8 +53,12 @@ PhaseStats stats_in(const core::ExperimentResult& result, const Phase& ph) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const auto bundle = core::train_default_predictors();
+  obs::Report report("fig9_load_timeseries");
+  auto& section = report.section(
+      "phases", {"model", "phase", "loadpart_mean_ms", "loadpart_p",
+                 "baseline_mean_ms", "baseline_p", "reduction"});
 
   std::printf(
       "Figure 9: latency under the server-load schedule "
@@ -96,8 +73,8 @@ int main() {
     auto run = [&](core::Policy policy) {
       core::ExperimentConfig config;
       config.policy = policy;
-      config.load_schedule = schedule();
-      config.duration = seconds(280);
+      config.load_schedule = benchutil::fig9_schedule();
+      config.duration = benchutil::kFig9Duration;
       config.warmup = 0;
       config.seed = 31;
       return core::run_experiment(model, bundle, config);
@@ -113,12 +90,13 @@ int main() {
     double lp_sum = 0.0, ns_sum = 0.0;
     double best_reduction = 0.0;
     int phase_count = 0;
-    for (const auto& ph : phases()) {
+    for (const auto& ph : benchutil::fig9_phases()) {
       const auto lp_stats = stats_in(lp_result, ph);
       const auto ns_stats = stats_in(ns_result, ph);
       std::string reduction = "-";
+      double red = 0.0;
       if (lp_stats.count > 0 && ns_stats.count > 0) {
-        const double red = 1.0 - lp_stats.mean_ms / ns_stats.mean_ms;
+        red = 1.0 - lp_stats.mean_ms / ns_stats.mean_ms;
         reduction = Table::num(red * 100.0, 1) + "%";
         lp_sum += lp_stats.mean_ms;
         ns_sum += ns_stats.mean_ms;
@@ -131,12 +109,18 @@ int main() {
                      ns_stats.count ? Table::num(ns_stats.mean_ms) : "-",
                      ns_stats.count ? std::to_string(ns_stats.modal_p) : "-",
                      reduction});
+      section.add_row({name, ph.label, lp_stats.mean_ms,
+                       static_cast<std::size_t>(lp_stats.modal_p),
+                       ns_stats.mean_ms,
+                       static_cast<std::size_t>(ns_stats.modal_p), red});
     }
     table.print();
     const double avg_reduction =
         phase_count > 0 ? (1.0 - lp_sum / ns_sum) : 0.0;
     std::printf("average reduction %.1f%%, best phase %.1f%%\n\n",
                 avg_reduction * 100.0, best_reduction * 100.0);
+    report.set(name + "_avg_reduction", avg_reduction);
+    report.set(name + "_best_reduction", best_reduction);
     if (name == "squeezenet") {
       squeezenet_avg_reduction = avg_reduction;
       squeezenet_max_reduction = best_reduction;
@@ -149,10 +133,15 @@ int main() {
       "SqueezeNet: %.1f%% average / %.1f%% best-phase reduction "
       "(paper: 14.2%% average, 32.3%% max)\n",
       squeezenet_avg_reduction * 100.0, squeezenet_max_reduction * 100.0);
+  const double mean_reduction =
+      overall_reduction_sum / overall_reduction_count;
   std::printf(
       "Mean reduction across the six DNNs: %.1f%% (several models are "
       "local-only or full-offload-only, matching the paper's flat "
       "curves)\n",
-      overall_reduction_sum / overall_reduction_count * 100.0);
+      mean_reduction * 100.0);
+  report.set("mean_reduction", mean_reduction);
+  report.write_json(argc > 1 ? argv[1] : "BENCH_fig9.json");
+  report.maybe_write_csv_env();
   return 0;
 }

@@ -1,5 +1,6 @@
 #include "check/differential.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <limits>
@@ -13,6 +14,7 @@
 #include "common/rng.h"
 #include "core/algorithm.h"
 #include "core/dads.h"
+#include "predict/load_predictor.h"
 #include "serve/fleet.h"
 #include "serve/queue.h"
 
@@ -46,6 +48,8 @@ const char* case_kind_name(CaseKind kind) {
       return "fleet";
     case CaseKind::kCluster:
       return "cluster";
+    case CaseKind::kPredict:
+      return "predict";
   }
   return "?";
 }
@@ -341,6 +345,76 @@ void cluster_case(std::uint64_t seed, int level) {
                "robust cluster absorbed a zombie transfer copy");
 }
 
+void predict_case(std::uint64_t seed, int level) {
+  const int steps = level >= 2 ? 8 : (level == 1 ? 24 : 64);
+  predict::PredictorParams params;
+  // Shrink the LLSP window with the trace so small cases still roll it.
+  if (level >= 1) params.llsp_window = 4;
+
+  for (const std::string& kind : predict::registered_predictors()) {
+    params.kind = kind;
+    auto predictor = predict::make_predictor(params);
+    auto clone = predict::make_predictor(params);
+    bool cloned = false;
+
+    // Every predictor sees the same regime-switching walk (re-seeded per
+    // kind): load-like values, occasionally jumping regimes, occasionally
+    // resetting — the shapes the k series actually produces.
+    Rng walk(seed ^ 0x9ED1C7ull);
+    double value = walk.uniform(1.0, 8.0);
+    double drift = 0.0;
+    TimeNs now = 0;
+
+    for (int i = 0; i < steps; ++i) {
+      now += milliseconds(walk.uniform_int(1, 250));
+      if (walk.bernoulli(0.15)) drift = walk.uniform(-0.5, 0.5);
+      if (walk.bernoulli(0.05)) value = walk.uniform(1.0, 8.0);
+      value = std::clamp(value + drift + 0.2 * walk.normal(), 1.0, 1e4);
+
+      const double err = predictor->observe(now, value);
+      if (i == 0)
+        LP_CHECK_MSG(std::isnan(err), "first observation must be unscored");
+      else
+        LP_CHECK_MSG(std::isfinite(err),
+                     "forecast error must be finite after the first sample");
+      if (cloned) clone->observe(now, value);
+
+      const DurationNs horizons[] = {0, milliseconds(50), seconds(1),
+                                     seconds(30)};
+      for (DurationNs h : horizons) {
+        const double f = predictor->forecast(h);
+        LP_CHECK_MSG(std::isfinite(f), "forecast must be finite");
+        LP_CHECK_MSG(std::abs(f) <= params.max_abs_forecast,
+                     "forecast escaped the clamp");
+        // Reactive equivalence: the default predictor forecasts exactly
+        // its last observation at every horizon — this is the invariant
+        // the stack-wide bit-identity of legacy runs rests on.
+        if (kind == "last-value")
+          LP_CHECK_MSG(f == value,
+                       "last-value forecast diverged from the observation");
+        if (cloned)
+          LP_CHECK_MSG(f == clone->forecast(h),
+                       "restored clone forecasts different bits");
+      }
+      LP_CHECK(predictor->confidence() >= 0.0 &&
+               predictor->confidence() <= 1.0);
+      if (predictor->scored() > 0)
+        LP_CHECK(std::isfinite(predictor->mae()) &&
+                 std::isfinite(predictor->bias()));
+
+      if (i == steps / 2) {
+        // Mid-stream migration: the exported state restores bit-identically
+        // and the clone tracks the original exactly from here on.
+        const predict::PredictorState state = predictor->export_state();
+        clone->import_state(state);
+        audit_equal(state, clone->export_state());
+        LP_CHECK(predict::state_wire_bytes(state) >= 0);
+        cloned = true;
+      }
+    }
+  }
+}
+
 void run_case(CaseKind kind, std::uint64_t seed, int level) {
   switch (kind) {
     case CaseKind::kDecision:
@@ -357,6 +431,9 @@ void run_case(CaseKind kind, std::uint64_t seed, int level) {
       return;
     case CaseKind::kCluster:
       cluster_case(seed, level);
+      return;
+    case CaseKind::kPredict:
+      predict_case(seed, level);
       return;
   }
   LP_CHECK_MSG(false, "unknown case kind");

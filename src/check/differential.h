@@ -17,7 +17,13 @@
 //     chaos (lossy heartbeats, non-oracle failure detection, a lossy
 //     migration interconnect with timeout/retry/abort, crash windows),
 //     with the cluster conservation + ledger auditor armed every
-//     heartbeat period — no chaos schedule may lose an admitted job.
+//     heartbeat period — no chaos schedule may lose an admitted job;
+//   * predict  — random regime-switching load traces through every
+//     registered load predictor: forecasts stay finite and bounded at all
+//     horizons, error statistics stay finite, export→import round-trips
+//     bit-identically mid-stream (the clone forecasts the same bits ever
+//     after), and the last-value default always forecasts exactly its
+//     last observation (the reactive-equivalence invariant).
 // A case throws lp::ContractError on divergence; run_diff() adds the case
 // index/seed context so any failure is replayable via tools/check_fuzz.
 #pragma once
@@ -27,7 +33,7 @@
 
 namespace lp::check {
 
-enum class CaseKind { kDecision, kCache, kQueue, kFleet, kCluster };
+enum class CaseKind { kDecision, kCache, kQueue, kFleet, kCluster, kPredict };
 
 const char* case_kind_name(CaseKind kind);
 
@@ -41,6 +47,7 @@ void cache_case(std::uint64_t seed, int level = 0);
 void queue_case(std::uint64_t seed, int level = 0);
 void fleet_case(std::uint64_t seed, int level = 0);
 void cluster_case(std::uint64_t seed, int level = 0);
+void predict_case(std::uint64_t seed, int level = 0);
 
 /// Runs `cases` cases of one family, deriving case seeds with
 /// case_seed(seed, i). On failure rethrows lp::ContractError prefixed with

@@ -100,12 +100,31 @@ void audit(const serve::EdgeServerFrontend& frontend) {
                  "crashed frontend still holds work");
   }
 
+  // The frontend-level signal is a well-formed forecast of the same queue.
+  LP_CHECK(std::isfinite(s.signal.k_forecast) && s.signal.k_forecast >= 1.0);
+  LP_CHECK(std::isfinite(s.signal.backlog_sec) && s.signal.backlog_sec >= 0.0);
+  LP_CHECK(s.signal.confidence >= 0.0 && s.signal.confidence <= 1.0);
+  LP_CHECK(s.signal.age_ns >= 0);
+
   audit(frontend.queue());
   for (std::uint64_t s = 0; s < frontend.sessions(); ++s) {
     LP_CHECK(frontend.session_k(s) >= 1.0);
     audit(frontend.session_tracker(s));
     audit(frontend.session_cache(s));
     LP_CHECK(frontend.session_bandwidth_bps(s) > 0.0);
+    // The session's signal honours the same contracts as the raw tracker:
+    // constraint 1c on the forecast, a finite error score, and k_now
+    // agreeing bitwise with the published k.
+    const core::LoadSignal sig = frontend.load_signal(s, 0);
+    LP_CHECK_MSG(sig.k_now == frontend.session_tracker(s).k(),
+                 "signal k_now diverged from the published k");
+    LP_CHECK(std::isfinite(sig.k_forecast) && sig.k_forecast >= 1.0);
+    LP_CHECK(std::isfinite(sig.backlog_sec) && sig.backlog_sec >= 0.0);
+    LP_CHECK(sig.confidence >= 0.0 && sig.confidence <= 1.0);
+    const predict::LoadPredictor& predictor = frontend.session_predictor(s);
+    if (predictor.scored() > 0)
+      LP_CHECK(std::isfinite(predictor.mae()) &&
+               std::isfinite(predictor.bias()));
   }
 }
 
@@ -186,13 +205,37 @@ void audit_equal(const SlidingWindow::Snapshot& a,
   LP_CHECK_MSG(a.sum == b.sum, std::string(what) + ": window sums differ");
 }
 
+void audit_equal_vec(const std::vector<double>& a,
+                     const std::vector<double>& b, const char* what) {
+  LP_CHECK_MSG(a.size() == b.size(),
+               std::string(what) + ": vector sizes differ");
+  for (std::size_t i = 0; i < a.size(); ++i)
+    LP_CHECK_MSG(a[i] == b[i], std::string(what) + ": vector values differ");
+}
+
 }  // namespace
+
+void audit_equal(const predict::PredictorState& a,
+                 const predict::PredictorState& b) {
+  LP_CHECK_MSG(a.last_observed == b.last_observed &&
+                   a.last_value == b.last_value && a.gap_sec == b.gap_sec &&
+                   a.samples == b.samples,
+               "predictor observation state differs");
+  LP_CHECK_MSG(a.abs_err_sum == b.abs_err_sum && a.err_sum == b.err_sum &&
+                   a.scored == b.scored,
+               "predictor error statistics differ");
+  audit_equal_vec(a.scalars, b.scalars, "predictor scalars");
+  audit_equal_vec(a.window, b.window, "predictor window");
+  audit_equal_vec(a.window_times_sec, b.window_times_sec,
+                  "predictor window times");
+}
 
 void audit_equal(const serve::SessionState& a, const serve::SessionState& b) {
   audit_equal(a.k.ratios, b.k.ratios, "k ratios");
   audit_equal(a.k.idle_ratios, b.k.idle_ratios, "k idle ratios");
   LP_CHECK_MSG(a.k.records == b.k.records, "k record counts differ");
   audit_equal(a.bandwidth.window, b.bandwidth.window, "bandwidth");
+  audit_equal(a.predictor, b.predictor);
 
   LP_CHECK_MSG(a.cache.plans.size() == b.cache.plans.size(),
                "cache occupancy differs");

@@ -15,6 +15,7 @@
 #include "core/load_factor.h"
 #include "net/estimator.h"
 #include "partition/cache.h"
+#include "predict/load_predictor.h"
 #include "serve/frontend.h"
 #include "serve/queue.h"
 
@@ -71,9 +72,16 @@ void audit(const cluster::ClusterRouter& router);
 
 /// Migration round-trip equivalence: the two session-state snapshots must
 /// be bit-identical (same window values *and* incrementally-maintained
-/// sums, same cache plans/recency/statistics, same record counts) — the
-/// export→import→export property cluster_test pins on live frontends.
+/// sums, same cache plans/recency/statistics, same record counts, same
+/// predictor state) — the export→import→export property cluster_test pins
+/// on live frontends.
 void audit_equal(const serve::SessionState& a, const serve::SessionState& b);
+
+/// Predictor-state bit-identity: every fixed field and every packed model
+/// vector must match exactly (a predictor restored from the state must
+/// forecast the same bits).
+void audit_equal(const predict::PredictorState& a,
+                 const predict::PredictorState& b);
 
 /// Sim-clock monotonicity: successive observations of a simulator's now()
 /// must never decrease. Feed it from a periodic audit callback.

@@ -80,7 +80,7 @@ std::uint64_t ClusterRouter::open_session(
       std::vector<serve::LoadSnapshot> loads;
       loads.reserve(servers_.size());
       for (const serve::EdgeServerFrontend* server : servers_)
-        loads.push_back(server->load_snapshot());
+        loads.push_back(server->load_snapshot(params_.heartbeat_period));
       home = least_loaded_server(loads);
       break;
     }
@@ -119,8 +119,10 @@ sim::Task ClusterRouter::heartbeat_loop() {
 void ClusterRouter::collect_heartbeat() {
   if (last_heartbeat_.size() != servers_.size())
     last_heartbeat_.resize(servers_.size());
+  // Heartbeats forecast one refresh period ahead: the snapshot steers
+  // decisions until the next heartbeat lands.
   for (std::size_t i = 0; i < servers_.size(); ++i)
-    links_[i].send(servers_[i]->load_snapshot(),
+    links_[i].send(servers_[i]->load_snapshot(params_.heartbeat_period),
                    [this, i](const serve::LoadSnapshot& snapshot) {
                      on_heartbeat(i, snapshot);
                    });
@@ -134,6 +136,7 @@ void ClusterRouter::collect_heartbeat() {
       const std::string prefix = "cluster.s" + std::to_string(i);
       metrics.gauge(prefix + ".predicted_delay_sec")
           .set(s.predicted_delay_sec);
+      metrics.gauge(prefix + ".forecast_delay_sec").set(s.signal.backlog_sec);
       metrics.gauge(prefix + ".queue_depth")
           .set(static_cast<double>(s.queue_depth));
       if (auto* tr = telemetry_->trace())
@@ -194,8 +197,11 @@ std::size_t ClusterRouter::least_loaded_server(
       best = i;
       continue;
     }
-    const double di = loads[i].predicted_delay_sec;
-    const double db = loads[best].predicted_delay_sec;
+    // Forecast delay, not the instantaneous one: placement pays off over
+    // the coming heartbeat period. The last-value default makes this the
+    // reactive reading, bit for bit.
+    const double di = loads[i].signal.backlog_sec;
+    const double db = loads[best].signal.backlog_sec;
     if (di != db) {
       if (di < db) best = i;
       continue;
@@ -290,17 +296,17 @@ void ClusterRouter::maybe_rebalance() {
     for (std::size_t i = 0; i < last_heartbeat_.size(); ++i) {
       if (!last_heartbeat_[i].alive || !detector_.usable(i)) continue;
       if (hot == last_heartbeat_.size() ||
-          last_heartbeat_[i].predicted_delay_sec >
-              last_heartbeat_[hot].predicted_delay_sec)
+          last_heartbeat_[i].signal.backlog_sec >
+              last_heartbeat_[hot].signal.backlog_sec)
         hot = i;
       if (cold == last_heartbeat_.size() ||
-          last_heartbeat_[i].predicted_delay_sec <
-              last_heartbeat_[cold].predicted_delay_sec)
+          last_heartbeat_[i].signal.backlog_sec <
+              last_heartbeat_[cold].signal.backlog_sec)
         cold = i;
     }
     if (hot == cold) return;
-    const double skew = last_heartbeat_[hot].predicted_delay_sec -
-                        last_heartbeat_[cold].predicted_delay_sec;
+    const double skew = last_heartbeat_[hot].signal.backlog_sec -
+                        last_heartbeat_[cold].signal.backlog_sec;
     if (skew <= params_.skew_threshold_sec) return;
 
     // Victim: the session contributing the most queued work on the hot

@@ -11,8 +11,12 @@ LoadFactorTracker::LoadFactorTracker(std::size_t window)
 
 void LoadFactorTracker::record(double measured_sec, double predicted_sec,
                                bool contended) {
-  LP_CHECK(measured_sec >= 0.0);
+  LP_DCHECK(measured_sec >= 0.0);
   LP_CHECK_MSG(predicted_sec > 0.0, "predicted partition time must be > 0");
+  // A non-positive measurement carries no load information (the mirror of
+  // the 0 ns BandwidthEstimator::add_transfer case): a zero ratio would
+  // drag the published mean below the load actually observed. Drop it.
+  if (measured_sec <= 0.0) return;
   const double ratio = measured_sec / predicted_sec;
   ratios_.add(ratio);
   ++records_;

@@ -26,6 +26,9 @@ class LoadFactorTracker {
   /// partition ran (the server-side profiler can see the queue): only
   /// uncontended measurements teach the idle baseline.
   /// predicted_sec must be > 0 (a partition always has modeled nodes).
+  /// A measured_sec <= 0 sample is dropped (it carries no load
+  /// information; a zero ratio would drag k below the observed load);
+  /// negative values additionally trip an LP_DCHECK in debug builds.
   void record(double measured_sec, double predicted_sec,
               bool contended = false);
 

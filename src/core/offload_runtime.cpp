@@ -71,6 +71,7 @@ OffloadServer::OffloadServer(sim::Simulator& sim, hw::GpuScheduler& scheduler,
       ctx_(scheduler.create_context("offload-service")),
       cache_(params.cache_capacity),
       k_(params.k_window),
+      predictor_(predict::make_predictor(params.predictor)),
       requests_(sim),
       rng_(seed) {
   sim_->spawn(service());
@@ -144,7 +145,26 @@ sim::Task OffloadServer::execute_suffix(std::size_t p, double* exec_seconds,
   // Runtime profiler bookkeeping (Section III-C): ratio of measured over
   // model-predicted time for this partition.
   const double predicted = profile_->suffix_g(p);
-  if (predicted > 0.0) k_.record(measured, predicted, contended);
+  if (predicted > 0.0) {
+    k_.record(measured, predicted, contended);
+    // The predictor sees the published series: every k mutation feeds it,
+    // so the last-value forecast is exactly the reactive value.
+    predictor_->observe(sim_->now(), k_.k());
+  }
+}
+
+LoadSignal OffloadServer::load_signal(std::uint64_t /*session*/,
+                                      DurationNs horizon) const {
+  LoadSignal sig;
+  sig.k_now = k_.k();
+  sig.k_forecast = sig.k_now;
+  if (predictor_->samples() > 0) {
+    // Constraint 1c applies to the forecast as much as to the measurement.
+    sig.k_forecast = std::max(1.0, predictor_->forecast(horizon));
+    sig.age_ns = sim_->now() - predictor_->last_observed();
+    sig.confidence = predictor_->confidence();
+  }
+  return sig;
 }
 
 void OffloadServer::start_gpu_watcher(DurationNs period) {
@@ -162,7 +182,10 @@ sim::Task OffloadServer::gpu_watcher(DurationNs period) {
                         static_cast<double>(sim_->now() - watcher_time_mark_);
     watcher_busy_mark_ = busy;
     watcher_time_mark_ = sim_->now();
-    if (util < params_.gpu_util_threshold) k_.reset_idle();
+    if (util < params_.gpu_util_threshold) {
+      k_.reset_idle();
+      predictor_->observe(sim_->now(), k_.k());
+    }
   }
 }
 
@@ -582,10 +605,12 @@ sim::Task OffloadClient::runtime_profiler(DurationNs period) {
                             to_seconds(probe_out.elapsed));
     }
 
-    // Ask the server-side profiler for the latest k (small control
-    // message, one round trip). The Neurosurgeon baseline keeps only the
-    // first (idle-calibration) value. A crashed server refuses the fetch;
-    // the cached k survives until the next successful round trip.
+    // Ask the server-side profiler for the latest load signal (small
+    // control message, one round trip), with k forecast one profiler
+    // period ahead — the value will steer decisions until the next fetch.
+    // The Neurosurgeon baseline keeps only the first (idle-calibration)
+    // value. A crashed server refuses the fetch; the cached k survives
+    // until the next successful round trip.
     if (server_->alive()) {
       net::TransferOutcome ctl;
       co_await link_->upload(params_.header_bytes, nullptr,
@@ -593,7 +618,7 @@ sim::Task OffloadClient::runtime_profiler(DurationNs period) {
                                            : 0,
                              &ctl);
       if (ctl.status == net::TransferStatus::kOk && server_->alive()) {
-        const double k = server_->session_k(session_);
+        const LoadSignal signal = server_->load_signal(session_, period);
         co_await link_->download(params_.header_bytes, nullptr,
                                  timeout > 0.0
                                      ? sim_->now() + seconds(timeout)
@@ -601,7 +626,8 @@ sim::Task OffloadClient::runtime_profiler(DurationNs period) {
                                  &ctl);
         if (ctl.status == net::TransferStatus::kOk &&
             (policy_ != Policy::kNeurosurgeon || !k_fetched_once_)) {
-          k_cached_ = k;
+          last_signal_ = signal;
+          k_cached_ = signal.k_forecast;
           k_fetched_once_ = true;
         }
       }

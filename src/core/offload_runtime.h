@@ -20,6 +20,7 @@
 
 #include "core/algorithm.h"
 #include "core/load_factor.h"
+#include "core/load_signal.h"
 #include "core/predictor.h"
 #include "fault/retry.h"
 #include "hw/cpu_model.h"
@@ -30,6 +31,7 @@
 #include "obs/taxonomy.h"
 #include "obs/telemetry.h"
 #include "partition/cache.h"
+#include "predict/load_predictor.h"
 
 namespace lp::core {
 
@@ -55,6 +57,13 @@ struct RuntimeParams {
 
   std::size_t k_window = 16;
   std::size_t bandwidth_window = 8;
+
+  /// Load predictor behind every LoadSignal this runtime publishes
+  /// (src/predict/): the default "last-value" kind reproduces the reactive
+  /// behavior bit-identically; swap `predictor.kind` for "ewma",
+  /// "decay-diff", "holt" or "llsp" to forecast k and the queue backlog
+  /// at the consumer's horizon instead.
+  predict::PredictorParams predictor;
 
   /// Extension: execute server partitions with framework operator fusion
   /// (one kernel per fusion group; see graph/fusion.h).
@@ -197,9 +206,19 @@ class SuffixService {
   /// request.done, on kRejected it degrades to local execution.
   virtual SubmitStatus submit(SuffixRequest request) = 0;
 
-  /// Latest influential factor published for this session (the value the
-  /// device runtime profiler fetches).
-  virtual double session_k(std::uint64_t session) const = 0;
+  /// One typed read of the load this service publishes for `session`,
+  /// forecast `horizon` ahead (0 = right now) — the single load API every
+  /// consumer goes through: the device profiler fetch, admission control,
+  /// and the cluster router's placement/rebalancing.
+  virtual LoadSignal load_signal(std::uint64_t session,
+                                 DurationNs horizon) const = 0;
+
+  /// DEPRECATED thin shim over load_signal(session, 0).k_now, kept so
+  /// legacy call sites and tests read the reactive k through the same
+  /// signal path. Scheduled for removal (DESIGN.md §16).
+  double session_k(std::uint64_t session) const {
+    return load_signal(session, 0).k_now;
+  }
 
   /// False while the service is crashed: control-plane fetches (the
   /// profiler's k handshake) are skipped until it restarts.
@@ -220,10 +239,12 @@ class OffloadServer : public SuffixService {
   /// k as the runtime profiler would report it right now.
   double current_k() const { return k_.k(); }
 
-  /// The single-tenant server publishes one k for every session.
-  double session_k(std::uint64_t /*session*/) const override {
-    return current_k();
-  }
+  /// The single-tenant server publishes one signal for every session:
+  /// k_now is current_k(), k_forecast comes from the runtime predictor
+  /// observing every k mutation (each recorded execution and each idle
+  /// reset).
+  LoadSignal load_signal(std::uint64_t session,
+                         DurationNs horizon) const override;
 
   /// Spawns the GPU-utilization watcher (Section IV), checking every
   /// `period` and resetting k when utilization < threshold.
@@ -231,6 +252,7 @@ class OffloadServer : public SuffixService {
 
   const partition::PartitionCache& cache() const { return cache_; }
   LoadFactorTracker& load_tracker() { return k_; }
+  const predict::LoadPredictor& predictor() const { return *predictor_; }
 
  private:
   sim::Task service();
@@ -246,6 +268,7 @@ class OffloadServer : public SuffixService {
   hw::GpuScheduler::ContextId ctx_;
   partition::PartitionCache cache_;
   LoadFactorTracker k_;
+  std::unique_ptr<predict::LoadPredictor> predictor_;
   sim::Channel<SuffixRequest> requests_;
   Rng rng_;
   DurationNs watcher_busy_mark_ = 0;
@@ -301,6 +324,9 @@ class OffloadClient {
   void set_telemetry(obs::Telemetry* telemetry, const std::string& track);
 
   double cached_k() const { return k_cached_; }
+  /// The load signal the last successful profiler handshake fetched
+  /// (default-constructed before the first fetch).
+  const LoadSignal& last_signal() const { return last_signal_; }
   const net::BandwidthEstimator& estimator() const { return estimator_; }
   const partition::PartitionCache& cache() const { return cache_; }
   const fault::CircuitBreaker& breaker() const { return breaker_; }
@@ -332,6 +358,7 @@ class OffloadClient {
   bool forced_local_ = false;
   double k_cached_ = 1.0;
   bool k_fetched_once_ = false;
+  LoadSignal last_signal_;
   /// Parameter nodes already shipped to the server (weights_preloaded =
   /// false only).
   std::vector<bool> params_on_server_;

@@ -37,6 +37,13 @@ struct ExperimentResult {
   std::vector<InferenceRecord> records;  // all, including warmup
   DurationNs warmup = 0;
 
+  /// Self-scored quality of the server's load predictor over the run: mean
+  /// |error| and signed bias of its one-gap-ahead k forecasts, plus how
+  /// many forecasts were scored. Zero when nothing was scored.
+  double predict_mae = 0.0;
+  double predict_bias = 0.0;
+  std::uint64_t predict_scored = 0;
+
   /// Records after the warmup cutoff.
   std::vector<const InferenceRecord*> steady() const;
   double mean_latency_sec() const;

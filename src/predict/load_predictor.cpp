@@ -1,0 +1,326 @@
+#include "predict/load_predictor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+
+#include "common/check.h"
+
+namespace lp::predict {
+
+std::int64_t state_wire_bytes(const PredictorState& state) {
+  constexpr std::int64_t kSampleBytes = 8;
+  return kSampleBytes *
+         static_cast<std::int64_t>(state.scalars.size() +
+                                   state.window.size() +
+                                   state.window_times_sec.size());
+}
+
+double LoadPredictor::observe(TimeNs now, double value) {
+  LP_CHECK_MSG(std::isfinite(value), "observed load must be finite");
+  double err = std::numeric_limits<double>::quiet_NaN();
+  if (samples_ > 0) {
+    LP_CHECK_MSG(now >= last_observed_,
+                 "load observations must not move back in time");
+    const DurationNs gap = now - last_observed_;
+    err = forecast(gap) - value;
+    abs_err_sum_ += std::abs(err);
+    err_sum_ += err;
+    ++scored_;
+    // Smoothed observation gap: the step size trend extrapolation uses.
+    gap_sec_ = samples_ == 1 ? to_seconds(gap)
+                             : 0.5 * to_seconds(gap) + 0.5 * gap_sec_;
+  }
+  update(now, value);
+  last_observed_ = now;
+  last_value_ = value;
+  ++samples_;
+  return err;
+}
+
+double LoadPredictor::forecast(DurationNs horizon) const {
+  if (samples_ == 0) return 0.0;
+  const double f = project(to_seconds(std::max<DurationNs>(0, horizon)));
+  // A mis-extrapolating model degrades to naive, never to NaN/inf: the
+  // decision path divides and compares with this value.
+  if (!std::isfinite(f)) return last_value_;
+  return std::clamp(f, -params_.max_abs_forecast, params_.max_abs_forecast);
+}
+
+double LoadPredictor::mae() const {
+  if (scored_ == 0) return 0.0;
+  return abs_err_sum_ / static_cast<double>(scored_);
+}
+
+double LoadPredictor::bias() const {
+  if (scored_ == 0) return 0.0;
+  return err_sum_ / static_cast<double>(scored_);
+}
+
+double LoadPredictor::confidence() const {
+  if (samples_ == 0) return 0.0;
+  const double warm = std::min(1.0, static_cast<double>(samples_) / 8.0);
+  return warm / (1.0 + mae());
+}
+
+double LoadPredictor::horizon_steps(double horizon_sec) const {
+  if (gap_sec_ <= 0.0) return 0.0;
+  return std::min(horizon_sec / gap_sec_, params_.max_trend_steps);
+}
+
+void LoadPredictor::reset() {
+  last_observed_ = 0;
+  last_value_ = 0.0;
+  gap_sec_ = 0.0;
+  samples_ = 0;
+  abs_err_sum_ = 0.0;
+  err_sum_ = 0.0;
+  scored_ = 0;
+  reset_model();
+}
+
+PredictorState LoadPredictor::export_state() const {
+  PredictorState state;
+  state.last_observed = last_observed_;
+  state.last_value = last_value_;
+  state.gap_sec = gap_sec_;
+  state.samples = samples_;
+  state.abs_err_sum = abs_err_sum_;
+  state.err_sum = err_sum_;
+  state.scored = scored_;
+  pack(&state);
+  return state;
+}
+
+void LoadPredictor::import_state(const PredictorState& state) {
+  last_observed_ = state.last_observed;
+  last_value_ = state.last_value;
+  gap_sec_ = state.gap_sec;
+  samples_ = state.samples;
+  abs_err_sum_ = state.abs_err_sum;
+  err_sum_ = state.err_sum;
+  scored_ = state.scored;
+  unpack(state);
+}
+
+namespace {
+
+class LastValuePredictor final : public LoadPredictor {
+ public:
+  using LoadPredictor::LoadPredictor;
+  const char* name() const override { return "last-value"; }
+
+ private:
+  void update(TimeNs /*now*/, double /*value*/) override {}
+  double project(double /*horizon_sec*/) const override {
+    return last_value();
+  }
+  void reset_model() override {}
+  void pack(PredictorState* /*state*/) const override {}
+  void unpack(const PredictorState& state) override {
+    LP_CHECK_MSG(state.scalars.empty() && state.window.empty(),
+                 "last-value import from a different predictor kind");
+  }
+};
+
+class EwmaPredictor final : public LoadPredictor {
+ public:
+  using LoadPredictor::LoadPredictor;
+  const char* name() const override { return "ewma"; }
+
+ private:
+  void update(TimeNs /*now*/, double value) override {
+    const double a = params().ewma_alpha;
+    level_ = samples() == 0 ? value : a * value + (1.0 - a) * level_;
+  }
+  double project(double /*horizon_sec*/) const override { return level_; }
+  void reset_model() override { level_ = 0.0; }
+  void pack(PredictorState* state) const override {
+    state->scalars = {level_};
+  }
+  void unpack(const PredictorState& state) override {
+    LP_CHECK_MSG(state.scalars.size() == 1,
+                 "ewma import from a different predictor kind");
+    level_ = state.scalars[0];
+  }
+
+  double level_ = 0.0;
+};
+
+/// Smoothed first difference, extrapolated per observation step off the
+/// latest value: v + d * steps. The decay keeps a single spike from being
+/// read as a lasting trend.
+class DecayDiffPredictor final : public LoadPredictor {
+ public:
+  using LoadPredictor::LoadPredictor;
+  const char* name() const override { return "decay-diff"; }
+
+ private:
+  void update(TimeNs /*now*/, double value) override {
+    if (samples() == 0) return;
+    const double d = params().decay;
+    diff_ = d * diff_ + (1.0 - d) * (value - last_value());
+  }
+  double project(double horizon_sec) const override {
+    return last_value() + diff_ * horizon_steps(horizon_sec);
+  }
+  void reset_model() override { diff_ = 0.0; }
+  void pack(PredictorState* state) const override {
+    state->scalars = {diff_};
+  }
+  void unpack(const PredictorState& state) override {
+    LP_CHECK_MSG(state.scalars.size() == 1,
+                 "decay-diff import from a different predictor kind");
+    diff_ = state.scalars[0];
+  }
+
+  double diff_ = 0.0;
+};
+
+/// Holt double-exponential smoothing: a level and a per-step trend.
+class HoltPredictor final : public LoadPredictor {
+ public:
+  using LoadPredictor::LoadPredictor;
+  const char* name() const override { return "holt"; }
+
+ private:
+  void update(TimeNs /*now*/, double value) override {
+    if (samples() == 0) {
+      level_ = value;
+      trend_ = 0.0;
+      return;
+    }
+    const double a = params().holt_alpha;
+    const double b = params().holt_beta;
+    const double prev = level_;
+    level_ = a * value + (1.0 - a) * (level_ + trend_);
+    trend_ = b * (level_ - prev) + (1.0 - b) * trend_;
+  }
+  double project(double horizon_sec) const override {
+    return level_ + trend_ * horizon_steps(horizon_sec);
+  }
+  void reset_model() override {
+    level_ = 0.0;
+    trend_ = 0.0;
+  }
+  void pack(PredictorState* state) const override {
+    state->scalars = {level_, trend_};
+  }
+  void unpack(const PredictorState& state) override {
+    LP_CHECK_MSG(state.scalars.size() == 2,
+                 "holt import from a different predictor kind");
+    level_ = state.scalars[0];
+    trend_ = state.scalars[1];
+  }
+
+  double level_ = 0.0;
+  double trend_ = 0.0;
+};
+
+/// Sliding-window linear least squares over (time, value): fit a line to
+/// the last llsp_window observations and read it `horizon` past the newest
+/// one (the atlas-rt llsp shape). Falls back to the last value while the
+/// window holds fewer than two points or has no time spread.
+class LlspPredictor final : public LoadPredictor {
+ public:
+  using LoadPredictor::LoadPredictor;
+  const char* name() const override { return "llsp"; }
+
+ private:
+  void update(TimeNs now, double value) override {
+    times_sec_.push_back(to_seconds(now));
+    values_.push_back(value);
+    if (times_sec_.size() > params().llsp_window) {
+      times_sec_.erase(times_sec_.begin());
+      values_.erase(values_.begin());
+    }
+  }
+  double project(double horizon_sec) const override {
+    const std::size_t n = times_sec_.size();
+    if (n < 2) return last_value();
+    // Center times at the newest sample: xs are small non-positive
+    // numbers, so the normal equations stay well conditioned however far
+    // the sim clock has run.
+    const double t_last = times_sec_.back();
+    double mean_x = 0.0, mean_y = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      mean_x += times_sec_[i] - t_last;
+      mean_y += values_[i];
+    }
+    mean_x /= static_cast<double>(n);
+    mean_y /= static_cast<double>(n);
+    double sxx = 0.0, sxy = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double dx = times_sec_[i] - t_last - mean_x;
+      sxx += dx * dx;
+      sxy += dx * (values_[i] - mean_y);
+    }
+    if (sxx <= 0.0) return last_value();
+    const double slope = sxy / sxx;
+    return mean_y + slope * (horizon_sec - mean_x);
+  }
+  void reset_model() override {
+    times_sec_.clear();
+    values_.clear();
+  }
+  void pack(PredictorState* state) const override {
+    state->window = values_;
+    state->window_times_sec = times_sec_;
+  }
+  void unpack(const PredictorState& state) override {
+    LP_CHECK_MSG(state.window.size() == state.window_times_sec.size(),
+                 "llsp import from a different predictor kind");
+    values_ = state.window;
+    times_sec_ = state.window_times_sec;
+  }
+
+  std::vector<double> times_sec_;
+  std::vector<double> values_;
+};
+
+using Registry = std::map<std::string, PredictorFactory>;
+
+template <typename P>
+PredictorFactory factory_of() {
+  return [](const PredictorParams& params) {
+    return std::unique_ptr<LoadPredictor>(new P(params));
+  };
+}
+
+Registry& registry() {
+  static Registry* r = [] {
+    auto* m = new Registry;
+    (*m)["last-value"] = factory_of<LastValuePredictor>();
+    (*m)["ewma"] = factory_of<EwmaPredictor>();
+    (*m)["decay-diff"] = factory_of<DecayDiffPredictor>();
+    (*m)["holt"] = factory_of<HoltPredictor>();
+    (*m)["llsp"] = factory_of<LlspPredictor>();
+    return m;
+  }();
+  return *r;
+}
+
+}  // namespace
+
+void register_predictor(const std::string& name, PredictorFactory factory) {
+  LP_CHECK(!name.empty());
+  LP_CHECK(factory != nullptr);
+  registry()[name] = std::move(factory);
+}
+
+std::unique_ptr<LoadPredictor> make_predictor(const PredictorParams& params) {
+  const auto it = registry().find(params.kind);
+  LP_CHECK_MSG(it != registry().end(),
+               "unknown predictor kind: " + params.kind);
+  return it->second(params);
+}
+
+std::vector<std::string> registered_predictors() {
+  std::vector<std::string> names;
+  names.reserve(registry().size());
+  for (const auto& [name, factory] : registry()) names.push_back(name);
+  return names;
+}
+
+}  // namespace lp::predict

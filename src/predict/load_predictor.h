@@ -1,0 +1,171 @@
+// Pluggable load-prediction subsystem.
+//
+// A LoadPredictor consumes the time series of a published load quantity
+// (the influential factor k of a session, or a frontend's predicted queue
+// delay) one observation at a time and answers horizon-aware forecasts:
+// "what will this series read `horizon` from now?". Consumers never touch
+// a concrete forecaster — they hold the interface, built by name through
+// the registry, so swapping reactive k for a forecast is a config change:
+//
+//   * last-value — forecast == the latest observation at any horizon. The
+//     default: it reproduces today's reactive behavior bit-identically.
+//   * ewma       — exponentially weighted level, flat extrapolation.
+//   * decay-diff — smoothed first difference extrapolated per step (the
+//     Ceph adsl predictor family's shape).
+//   * holt       — double-exponential smoothing (level + trend).
+//   * llsp      — sliding-window linear least squares over (time, value)
+//     pairs, extrapolated along the fitted line (the atlas-rt shape).
+//
+// Every predictor scores itself: each observation is first compared against
+// what the predictor forecast for this instant, accumulating MAE/bias the
+// serving layer exports as predict.* gauges. State export/import is exact —
+// export→import→export round-trips bit-identically, so forecasts survive
+// live session migration unchanged.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace lp::predict {
+
+/// Construction-time knobs for every registered predictor; `kind` selects
+/// the forecaster by registry name. One struct (not one per kind) so the
+/// runtime config stays a plain value that rides RuntimeParams.
+struct PredictorParams {
+  std::string kind = "last-value";
+
+  double ewma_alpha = 0.3;  ///< level smoothing (ewma)
+  double decay = 0.6;       ///< first-difference smoothing (decay-diff)
+  double holt_alpha = 0.4;  ///< level smoothing (holt)
+  double holt_beta = 0.2;   ///< trend smoothing (holt)
+  std::size_t llsp_window = 12;  ///< (time, value) pairs kept (llsp)
+
+  /// Trend extrapolation is capped at this many observation gaps: a load
+  /// series sampled every few hundred ms must not be extrapolated linearly
+  /// across a multi-second horizon.
+  double max_trend_steps = 8.0;
+
+  /// Forecasts are clamped into [-max_abs_forecast, +max_abs_forecast];
+  /// a non-finite projection degrades to the last observation. Keeps a
+  /// mis-extrapolating model from poisoning the decision path.
+  double max_abs_forecast = 1e6;
+};
+
+/// The exact serialized state of a predictor (live session migration).
+/// The fixed fields are the base class's accounting; derived predictors
+/// pack their smoothing state into `scalars` and, for windowed models,
+/// `window` / `window_times_sec`. import_state into a predictor of the
+/// same kind and params is bit-identical; a kind mismatch throws.
+struct PredictorState {
+  TimeNs last_observed = 0;
+  double last_value = 0.0;
+  double gap_sec = 0.0;  ///< smoothed observation gap (trend step size)
+  std::uint64_t samples = 0;
+  double abs_err_sum = 0.0;
+  double err_sum = 0.0;
+  std::uint64_t scored = 0;
+  std::vector<double> scalars;
+  std::vector<double> window;
+  std::vector<double> window_times_sec;
+};
+
+/// Modeled wire size of a state for session migration: 8 bytes per packed
+/// vector element. The fixed fields ride the export header the serving
+/// layer already charges, so the default last-value predictor (all vectors
+/// empty) adds zero bytes — migration timing stays bit-identical to runs
+/// that predate the predictor.
+std::int64_t state_wire_bytes(const PredictorState& state);
+
+class LoadPredictor {
+ public:
+  explicit LoadPredictor(const PredictorParams& params) : params_(params) {}
+  virtual ~LoadPredictor() = default;
+
+  /// Registry name of this forecaster (matches PredictorParams::kind).
+  virtual const char* name() const = 0;
+
+  /// Feeds one observation of the series at sim time `now` (monotone).
+  /// Scores the forecast this predictor had standing for this instant
+  /// *before* absorbing the value, and returns that signed error
+  /// (forecast - value); NaN on the first observation, when nothing was
+  /// forecast. O(window) worst case, no allocation on the steady path.
+  double observe(TimeNs now, double value);
+
+  /// Forecast of the series `horizon` past the last observation (0 = the
+  /// predictor's current level). Always finite; clamped per params.
+  /// With no observations yet, 0 — callers fall back to their live value.
+  double forecast(DurationNs horizon) const;
+
+  std::uint64_t samples() const { return samples_; }
+  TimeNs last_observed() const { return last_observed_; }
+  double last_value() const { return last_value_; }
+
+  /// Mean absolute / signed forecast error over the scored observations.
+  double mae() const;
+  double bias() const;
+  std::uint64_t scored() const { return scored_; }
+
+  /// [0, 1] trust in the forecast: ramps with sample count, discounted by
+  /// the observed error. 0 with no samples.
+  double confidence() const;
+
+  /// Back to the just-constructed state (the serving layer resets
+  /// predictors wherever it reconstructs the tracker they shadow: crash,
+  /// fence, export-side wipe).
+  void reset();
+
+  /// Exact state round-trip for live migration: export→import→export is
+  /// bit-identical. import_state requires a state packed by the same kind
+  /// (vector layouts must match) and replaces everything.
+  PredictorState export_state() const;
+  void import_state(const PredictorState& state);
+
+ protected:
+  const PredictorParams& params() const { return params_; }
+
+  /// Horizon expressed in (smoothed) observation gaps, capped at
+  /// params().max_trend_steps; 0 before a second sample establishes a gap.
+  double horizon_steps(double horizon_sec) const;
+
+ private:
+  /// Absorbs the observation into the derived model (called after the
+  /// standing forecast was scored; base fields still hold the *previous*
+  /// observation while this runs).
+  virtual void update(TimeNs now, double value) = 0;
+  /// The derived model's raw projection `horizon_sec` ahead; the base
+  /// clamps it. Only called with samples() > 0.
+  virtual double project(double horizon_sec) const = 0;
+  virtual void reset_model() = 0;
+  virtual void pack(PredictorState* state) const = 0;
+  virtual void unpack(const PredictorState& state) = 0;
+
+  PredictorParams params_;
+  TimeNs last_observed_ = 0;
+  double last_value_ = 0.0;
+  double gap_sec_ = 0.0;
+  std::uint64_t samples_ = 0;
+  double abs_err_sum_ = 0.0;
+  double err_sum_ = 0.0;
+  std::uint64_t scored_ = 0;
+};
+
+using PredictorFactory =
+    std::function<std::unique_ptr<LoadPredictor>(const PredictorParams&)>;
+
+/// Registers (or replaces) a factory under `name`; make_predictor resolves
+/// PredictorParams::kind against this registry. The five built-ins are
+/// pre-registered.
+void register_predictor(const std::string& name, PredictorFactory factory);
+
+/// Builds the predictor params.kind names; throws on an unknown kind.
+std::unique_ptr<LoadPredictor> make_predictor(const PredictorParams& params);
+
+/// Registered kind names in deterministic (sorted) order.
+std::vector<std::string> registered_predictors();
+
+}  // namespace lp::predict

@@ -14,16 +14,27 @@ namespace {
 struct ArrivalParams {
   DurationNs gap = 0;
   bool poisson = false;
+  // Markov-modulated burst state (burst_gap == 0 disables it and draws no
+  // extra randomness — legacy traces stay bit-identical).
+  DurationNs burst_gap = 0;
+  double burst_enter_prob = 0.0;
+  double burst_exit_prob = 0.0;
 };
 
 sim::Task client_stream(sim::Simulator& sim, core::OffloadClient& client,
                         ArrivalParams arrivals, Rng rng,
                         std::vector<core::InferenceRecord>& out) {
+  bool bursting = false;
   for (;;) {
     core::InferenceRecord rec;
     co_await client.infer(&rec);
     out.push_back(rec);
     DurationNs gap = arrivals.gap;
+    if (arrivals.burst_gap > 0) {
+      bursting = bursting ? !rng.bernoulli(arrivals.burst_exit_prob)
+                          : rng.bernoulli(arrivals.burst_enter_prob);
+      if (bursting) gap = arrivals.burst_gap;
+    }
     if (arrivals.poisson && gap > 0)
       gap = std::max<DurationNs>(
           1, static_cast<DurationNs>(
@@ -256,7 +267,9 @@ FleetResult run_fleet(const FleetConfig& config,
       result.clients.push_back(ClientTrace{t, {}});
       sim.spawn(client_stream(
           sim, *clients.back(),
-          ArrivalParams{spec.request_gap, spec.poisson_arrivals},
+          ArrivalParams{spec.request_gap, spec.poisson_arrivals,
+                        spec.burst_gap, spec.burst_enter_prob,
+                        spec.burst_exit_prob},
           Rng(seed ^ 0xa1), result.clients.back().records));
     }
   }

@@ -35,6 +35,14 @@ struct TenantSpec {
   /// Draw the think time exponentially with mean request_gap (Poisson-ish
   /// arrivals) instead of a fixed gap.
   bool poisson_arrivals = false;
+  /// Markov-modulated bursts: with burst_gap > 0 each client flips between
+  /// a calm state (mean gap = request_gap) and a burst state (mean gap =
+  /// burst_gap, typically much smaller) after every request, entering with
+  /// burst_enter_prob and leaving with burst_exit_prob. The default (0)
+  /// draws no extra randomness, keeping legacy runs bit-identical.
+  DurationNs burst_gap = 0;
+  double burst_enter_prob = 0.05;
+  double burst_exit_prob = 0.25;
   /// Per-request latency SLO: sets the EDF deadline and SLO accounting.
   /// 0 = no deadline.
   double slo_sec = 0.0;

@@ -1,6 +1,7 @@
 #include "serve/frontend.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/check.h"
 #include "partition/partitioner.h"
@@ -31,6 +32,7 @@ EdgeServerFrontend::EdgeServerFrontend(sim::Simulator& sim,
       work_arrived_(sim),
       rng_(seed) {
   LP_CHECK(params_.max_batch >= 1);
+  delay_predictor_ = predict::make_predictor(runtime_.predictor);
   sim_->spawn(service());
 }
 
@@ -41,13 +43,82 @@ std::uint64_t EdgeServerFrontend::open_session(
                               partition::PartitionCache(
                                   runtime_.cache_capacity),
                               net::BandwidthEstimator(
-                                  runtime_.bandwidth_window)});
+                                  runtime_.bandwidth_window),
+                              predict::make_predictor(runtime_.predictor)});
   return sessions_.size() - 1;
 }
 
-double EdgeServerFrontend::session_k(std::uint64_t session) const {
+core::LoadSignal EdgeServerFrontend::load_signal(std::uint64_t session,
+                                                 DurationNs horizon) const {
   LP_CHECK(session < sessions_.size());
-  return sessions_[session].k.k();
+  const Session& s = sessions_[session];
+  core::LoadSignal sig;
+  sig.k_now = s.k.k();
+  sig.k_forecast = sig.k_now;
+  if (s.predictor->samples() > 0) {
+    // Constraint 1c (k >= 1) applies to the forecast as much as to the
+    // measurement.
+    sig.k_forecast = std::max(1.0, s.predictor->forecast(horizon));
+    sig.age_ns = sim_->now() - s.predictor->last_observed();
+    sig.confidence = s.predictor->confidence();
+  }
+  apply_delay_drift(horizon, &sig);
+  return sig;
+}
+
+core::LoadSignal EdgeServerFrontend::load_signal(DurationNs horizon) const {
+  core::LoadSignal sig;
+  if (!sessions_.empty()) {
+    double k_now = 0.0;
+    double k_forecast = 0.0;
+    double confidence = 0.0;
+    TimeNs newest = 0;
+    bool observed = false;
+    for (const Session& s : sessions_) {
+      k_now += s.k.k();
+      double forecast = s.k.k();
+      if (s.predictor->samples() > 0) {
+        forecast = std::max(1.0, s.predictor->forecast(horizon));
+        confidence += s.predictor->confidence();
+        newest = std::max(newest, s.predictor->last_observed());
+        observed = true;
+      }
+      k_forecast += forecast;
+    }
+    const double n = static_cast<double>(sessions_.size());
+    sig.k_now = k_now / n;
+    sig.k_forecast = k_forecast / n;
+    sig.confidence = confidence / n;
+    if (observed) sig.age_ns = sim_->now() - newest;
+  }
+  apply_delay_drift(horizon, &sig);
+  return sig;
+}
+
+void EdgeServerFrontend::apply_delay_drift(DurationNs horizon,
+                                           core::LoadSignal* sig) const {
+  sig->backlog_sec = predicted_queue_delay_sec();
+  if (delay_predictor_->samples() == 0) return;
+  // Anchored drift: the live delay plus the forecast's movement relative
+  // to the last observation. The last-value default forecasts its last
+  // observation, so its drift is exactly zero and the published backlog
+  // stays the reactive reading.
+  const double drift = delay_predictor_->forecast(horizon) -
+                       delay_predictor_->last_value();
+  sig->backlog_sec = std::max(0.0, sig->backlog_sec + drift);
+}
+
+void EdgeServerFrontend::note_forecast_error(double err) {
+  if (!std::isfinite(err)) return;  // a predictor's first sample is unscored
+  predict_abs_err_ += std::abs(err);
+  predict_err_ += err;
+  ++predict_scored_;
+  if (telemetry_ != nullptr) {
+    predict_scored_counter_->add();
+    const double n = static_cast<double>(predict_scored_);
+    predict_mae_gauge_->set(predict_abs_err_ / n);
+    predict_bias_gauge_->set(predict_err_ / n);
+  }
 }
 
 const partition::PartitionCache& EdgeServerFrontend::session_cache(
@@ -62,6 +133,12 @@ const core::LoadFactorTracker& EdgeServerFrontend::session_tracker(
   return sessions_[session].k;
 }
 
+const predict::LoadPredictor& EdgeServerFrontend::session_predictor(
+    std::uint64_t session) const {
+  LP_CHECK(session < sessions_.size());
+  return *sessions_[session].predictor;
+}
+
 double EdgeServerFrontend::session_bandwidth_bps(
     std::uint64_t session) const {
   LP_CHECK(session < sessions_.size());
@@ -72,7 +149,7 @@ double EdgeServerFrontend::predicted_queue_delay_sec() const {
   return queue_.predicted_backlog_sec() + in_flight_sec_;
 }
 
-LoadSnapshot EdgeServerFrontend::load_snapshot() const {
+LoadSnapshot EdgeServerFrontend::load_snapshot(DurationNs horizon) const {
   LoadSnapshot s;
   s.alive = !down_;
   s.sessions = sessions_.size();
@@ -80,11 +157,17 @@ LoadSnapshot EdgeServerFrontend::load_snapshot() const {
   s.inflight_jobs = inflight_jobs();
   s.predicted_backlog_sec = queue_.predicted_backlog_sec();
   s.predicted_delay_sec = predicted_queue_delay_sec();
-  if (!sessions_.empty()) {
-    double total = 0.0;
-    for (const Session& session : sessions_) total += session.k.k();
-    s.mean_k = total / static_cast<double>(sessions_.size());
+  s.signal = load_signal(horizon);
+  // Same per-session sum as the signal's mean, so the two fields agree
+  // bitwise (mean_k predates the LoadSignal API and is kept for readers
+  // not yet ported).
+  s.mean_k = s.signal.k_now;
+  if (predict_scored_ > 0) {
+    const double n = static_cast<double>(predict_scored_);
+    s.predict_mae = predict_abs_err_ / n;
+    s.predict_bias = predict_err_ / n;
   }
+  s.predict_scored = predict_scored_;
   s.submitted = submitted_;
   s.admitted = admitted_;
   s.shed = shed_;
@@ -126,11 +209,13 @@ SessionExport EdgeServerFrontend::export_session(std::uint64_t session) {
   ex.state.k = s.k.export_state();
   ex.state.cache = s.cache.export_contents();
   ex.state.bandwidth = s.bandwidth.export_state();
+  ex.state.predictor = s.predictor->export_state();
   // The local copy resets to fresh: stragglers submitted before the client
   // learns its new endpoint are still served here, against cold state.
   s.k = core::LoadFactorTracker(runtime_.k_window);
   s.cache.clear();
   s.bandwidth = net::BandwidthEstimator(runtime_.bandwidth_window);
+  s.predictor->reset();
 
   ex.jobs = queue_.take_session(session);
   migrated_out_ += ex.jobs.size();
@@ -140,8 +225,10 @@ SessionExport EdgeServerFrontend::export_session(std::uint64_t session) {
                                 ex.state.k.ratios.values.size() +
                                 ex.state.k.idle_ratios.values.size() +
                                 ex.state.bandwidth.window.values.size()) +
-             kPlanBytes * static_cast<std::int64_t>(ex.state.cache.plans.size()) +
-             kJobHeaderBytes * static_cast<std::int64_t>(ex.jobs.size());
+             kPlanBytes *
+                 static_cast<std::int64_t>(ex.state.cache.plans.size()) +
+             kJobHeaderBytes * static_cast<std::int64_t>(ex.jobs.size()) +
+             predict::state_wire_bytes(ex.state.predictor);
 
   if (telemetry_ != nullptr) {
     migrated_out_counter_->add(std::int64_t(ex.jobs.size()));
@@ -182,6 +269,7 @@ bool EdgeServerFrontend::import_session(std::uint64_t session,
     s.k.import_state(ex.state.k);
     s.cache.import_contents(std::move(ex.state.cache));
     s.bandwidth.import_state(ex.state.bandwidth);
+    s.predictor->import_state(ex.state.predictor);
   }
   const std::size_t jobs = ex.jobs.size();
   for (QueuedJob& job : ex.jobs) {
@@ -255,6 +343,7 @@ std::size_t EdgeServerFrontend::fence_session(std::uint64_t session,
   s.cache.clear();
   s.cache.reset_stats();
   s.bandwidth = net::BandwidthEstimator(runtime_.bandwidth_window);
+  s.predictor->reset();
   if (telemetry_ != nullptr) {
     if (fenced > 0) failed_counter_->add(std::int64_t(fenced));
     if (auto* tr = trace()) {
@@ -290,6 +379,9 @@ void EdgeServerFrontend::set_telemetry(obs::Telemetry* telemetry,
   batch_occupancy_ = &metrics.histogram("serve.batch_occupancy", 0.0, 32.0,
                                         32);
   queue_wait_ms_ = &metrics.histogram("serve.queue_wait_ms", 0.0, 500.0, 100);
+  predict_mae_gauge_ = &metrics.gauge("predict.mae");
+  predict_bias_gauge_ = &metrics.gauge("predict.bias");
+  predict_scored_counter_ = &metrics.counter("predict.scored");
   if (auto* tr = telemetry_->trace()) track_ = tr->track(track);
 }
 
@@ -323,9 +415,12 @@ core::SubmitStatus EdgeServerFrontend::submit(core::SuffixRequest request) {
 
   // Load shedding: a full queue always sheds; with admission control on,
   // so does a predicted queue delay beyond the budget. The server-side
-  // prediction uses the session's own k, not the client's.
+  // prediction uses the session's own load signal, not the client's,
+  // forecast to when the job will actually run (the current queue delay).
+  const core::LoadSignal sig = load_signal(
+      request.session, seconds(predicted_queue_delay_sec()));
   const double predicted =
-      session.k.k() * session.profile->suffix_g(request.p);
+      sig.k_forecast * session.profile->suffix_g(request.p);
   const bool over_budget =
       params_.admission_control &&
       predicted_queue_delay_sec() > params_.delay_budget_sec;
@@ -374,6 +469,9 @@ core::SubmitStatus EdgeServerFrontend::submit(core::SuffixRequest request) {
       observe_queue_depth();
     }
   }
+  // The queue delay just changed; the delay forecaster only ever learns at
+  // mutation points, so const readers never perturb it.
+  delay_predictor_->observe(sim_->now(), predicted_queue_delay_sec());
   work_arrived_.trigger();
   return core::SubmitStatus::kAccepted;
 }
@@ -431,6 +529,7 @@ sim::Task EdgeServerFrontend::execute_batch(std::vector<QueuedJob> batch) {
   in_flight_sec_ = 0.0;
   for (const QueuedJob& job : batch)
     in_flight_sec_ = std::max(in_flight_sec_, job.predicted_sec);
+  delay_predictor_->observe(dispatch_time, predicted_queue_delay_sec());
 
   // Partition caches are per session; one runtime preparation covers the
   // whole batch (it shares (model, p)), and every member session that
@@ -512,8 +611,14 @@ sim::Task EdgeServerFrontend::execute_batch(std::vector<QueuedJob> batch) {
     const bool contended =
         gpu_contended ||
         dispatch_time - job.enqueued > params_.batch_window;
-    if (predicted > 0.0)
-      sessions_[job.session].k.record(service, predicted, contended);
+    if (predicted > 0.0) {
+      Session& owner = sessions_[job.session];
+      owner.k.record(service, predicted, contended);
+      // Every k mutation feeds the session predictor, so the last-value
+      // forecast is exactly the published reactive k. The returned error
+      // scores the forecast this job's admission would have read.
+      note_forecast_error(owner.predictor->observe(finished, owner.k.k()));
+    }
     // The client's deadline watcher may have resolved this attempt
     // already; its trigger wins and the late result is dropped.
     if (!job.done->triggered()) {
@@ -539,6 +644,7 @@ sim::Task EdgeServerFrontend::execute_batch(std::vector<QueuedJob> batch) {
   }
   in_flight_sec_ = 0.0;
   inflight_ = nullptr;
+  delay_predictor_->observe(finished, predicted_queue_delay_sec());
 }
 
 void EdgeServerFrontend::attach_fault_plan(const fault::FaultPlan* plan) {
@@ -603,7 +709,9 @@ void EdgeServerFrontend::crash() {
     session.cache.clear();
     session.cache.reset_stats();
     session.bandwidth = net::BandwidthEstimator(runtime_.bandwidth_window);
+    session.predictor->reset();
   }
+  delay_predictor_->reset();
   in_flight_sec_ = 0.0;
 }
 
@@ -631,7 +739,13 @@ sim::Task EdgeServerFrontend::gpu_watcher(DurationNs period) {
     watcher_busy_mark_ = busy;
     watcher_time_mark_ = sim_->now();
     if (util < runtime_.gpu_util_threshold)
-      for (Session& session : sessions_) session.k.reset_idle();
+      for (Session& session : sessions_) {
+        session.k.reset_idle();
+        // The idle reset is a k mutation like any other: the predictor
+        // must see the published series step down, or a later forecast
+        // would extrapolate from pre-reset values.
+        session.predictor->observe(sim_->now(), session.k.k());
+      }
   }
 }
 

@@ -25,11 +25,14 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <vector>
 
+#include "core/load_signal.h"
 #include "core/offload_runtime.h"
 #include "fault/fault_plan.h"
 #include "obs/telemetry.h"
+#include "predict/load_predictor.h"
 #include "serve/queue.h"
 
 namespace lp::serve {
@@ -76,6 +79,13 @@ struct LoadSnapshot {
   std::uint64_t migrated_in = 0;   ///< jobs imported via session migration
   std::uint64_t migrated_out = 0;  ///< jobs exported via session migration
   std::uint64_t fenced_jobs = 0;   ///< zombie jobs rejected by epoch fence
+  /// The frontend-level LoadSignal at the snapshot's horizon: placement and
+  /// rebalancing read signal.backlog_sec / signal.k_forecast instead of the
+  /// raw predicted_delay_sec / mean_k fields above.
+  core::LoadSignal signal;
+  double predict_mae = 0.0;         ///< mean |forecast error| of session k
+  double predict_bias = 0.0;        ///< mean signed forecast error
+  std::uint64_t predict_scored = 0; ///< forecast errors scored so far
 };
 
 /// The volatile per-session state a live migration carries to the new
@@ -85,6 +95,7 @@ struct SessionState {
   core::LoadFactorTracker::State k;
   partition::PartitionCache::Contents cache;
   net::BandwidthEstimator::State bandwidth;
+  predict::PredictorState predictor;
 };
 
 /// A non-blocking session export (the Ceph MDS exporter shape): the state
@@ -134,8 +145,16 @@ class EdgeServerFrontend : public core::SuffixService {
 
   bool alive() const override { return !down_; }
 
-  /// The session's published influential factor (>= 1).
-  double session_k(std::uint64_t session) const override;
+  /// The session's load signal: published k now, the session predictor's
+  /// k forecast at `horizon` (>= 1, constraint 1c), and the frontend's
+  /// queue delay projected to the same horizon.
+  core::LoadSignal load_signal(std::uint64_t session,
+                               DurationNs horizon) const override;
+
+  /// Frontend-level signal: mean k / k-forecast / confidence across
+  /// sessions plus the projected queue delay — the heartbeat and placement
+  /// read. With no sessions, the neutral signal (k = 1).
+  core::LoadSignal load_signal(DurationNs horizon) const;
 
   /// Spawns the GPU-utilization watcher: when utilization over a period
   /// falls below the threshold, every session's k resets to its idle
@@ -173,8 +192,10 @@ class EdgeServerFrontend : public core::SuffixService {
   std::uint64_t rejected_imports() const { return rejected_imports_; }
 
   /// One coherent snapshot of load and conservation counters: the cluster
-  /// heartbeat payload and the invariant layer's single read.
-  LoadSnapshot load_snapshot() const;
+  /// heartbeat payload and the invariant layer's single read. `horizon`
+  /// sets how far ahead the embedded LoadSignal forecasts (heartbeat
+  /// consumers pass their refresh period; 0 keeps it reactive).
+  LoadSnapshot load_snapshot(DurationNs horizon = 0) const;
 
   /// Per-session admission counters (router victim selection and tests).
   struct SessionStats {
@@ -217,6 +238,7 @@ class EdgeServerFrontend : public core::SuffixService {
 
   const partition::PartitionCache& session_cache(std::uint64_t session) const;
   const core::LoadFactorTracker& session_tracker(std::uint64_t session) const;
+  const predict::LoadPredictor& session_predictor(std::uint64_t session) const;
   double session_bandwidth_bps(std::uint64_t session) const;
 
   /// The request queue itself — read-only, for the invariant layer
@@ -246,6 +268,10 @@ class EdgeServerFrontend : public core::SuffixService {
     core::LoadFactorTracker k;
     partition::PartitionCache cache;
     net::BandwidthEstimator bandwidth;
+    /// Forecaster over the session's published k series: observed on every
+    /// tracker mutation (so the last-value default forecasts exactly the
+    /// reactive k), reset wherever the tracker is reconstructed.
+    std::unique_ptr<predict::LoadPredictor> predictor;
     std::uint64_t submitted = 0;
     std::uint64_t admitted = 0;
     std::uint64_t shed = 0;
@@ -258,6 +284,15 @@ class EdgeServerFrontend : public core::SuffixService {
   sim::Task execute_batch(std::vector<QueuedJob> batch);
   sim::Task gpu_watcher(DurationNs period);
   sim::Task crash_driver();
+
+  /// Folds a session-k forecast error into the frontend-wide predict.*
+  /// aggregate (skips the unscored first sample).
+  void note_forecast_error(double err);
+  /// Adds the queue-delay forecast drift at `horizon` to sig->backlog_sec:
+  /// live delay + (forecast - last observation), clamped >= 0. Anchoring on
+  /// the live value keeps the last-value default drift-free (bit-identical
+  /// to the reactive reading).
+  void apply_delay_drift(DurationNs horizon, core::LoadSignal* sig) const;
 
   sim::Simulator* sim_;
   hw::GpuScheduler* scheduler_;
@@ -295,6 +330,17 @@ class EdgeServerFrontend : public core::SuffixService {
   std::uint64_t fenced_jobs_ = 0;
   std::uint64_t rejected_imports_ = 0;
 
+  // Queue-delay forecaster (frontend-wide, not per session): observed only
+  // where the delay actually mutates (admission, dispatch, batch drain) so
+  // const readers never perturb it. Same pluggable kind as the session
+  // predictors.
+  std::unique_ptr<predict::LoadPredictor> delay_predictor_;
+  // Frontend-wide forecast-quality aggregate over session-k observations.
+  // Survives crashes (it scores the predictors, not the sessions).
+  double predict_abs_err_ = 0.0;
+  double predict_err_ = 0.0;
+  std::uint64_t predict_scored_ = 0;
+
   // Telemetry (optional; null = fully off). Handles resolved once in
   // set_telemetry so the submit/dispatch paths stay O(1).
   obs::TraceRecorder* trace() const {
@@ -313,6 +359,9 @@ class EdgeServerFrontend : public core::SuffixService {
   obs::Counter* migrated_out_counter_ = nullptr;
   obs::Histogram* batch_occupancy_ = nullptr;
   obs::Histogram* queue_wait_ms_ = nullptr;
+  obs::Gauge* predict_mae_gauge_ = nullptr;
+  obs::Gauge* predict_bias_gauge_ = nullptr;
+  obs::Counter* predict_scored_counter_ = nullptr;
 };
 
 }  // namespace lp::serve

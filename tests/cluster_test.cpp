@@ -9,6 +9,8 @@
 #include "cluster/hash_ring.h"
 #include "cluster/router.h"
 #include "common/check.h"
+#include "core/offload_runtime.h"
+#include "predict/load_predictor.h"
 
 namespace lp::cluster {
 namespace {
@@ -135,13 +137,14 @@ struct ClusterHarness {
   serve::EdgeServerFrontend a, b;
   ClusterRouter router;
 
-  explicit ClusterHarness(RouterParams params = {})
+  explicit ClusterHarness(RouterParams params = {},
+                          core::RuntimeParams runtime = {})
       : sched_a(sim),
         sched_b(sim),
         model(models::make_model("alexnet")),
         profile(model, bundle()),
-        a(sim, sched_a, gpu, serve::FrontendParams{}, {}, 99),
-        b(sim, sched_b, gpu, serve::FrontendParams{}, {}, 100),
+        a(sim, sched_a, gpu, serve::FrontendParams{}, runtime, 99),
+        b(sim, sched_b, gpu, serve::FrontendParams{}, runtime, 100),
         router(sim, {&a, &b}, params) {}
 };
 
@@ -176,6 +179,41 @@ TEST(SessionMigration, RoundTripStateIsBitIdentical) {
 
   // Export again from B: bit-identical to what left A, incrementally
   // maintained sums included.
+  serve::SessionExport back = h.b.export_session(s);
+  check::audit_equal(original, back.state);
+}
+
+TEST(SessionMigration, PredictorStateRoundTripsBitIdentical) {
+  // A stateful forecaster (holt carries level + trend) must survive a live
+  // migration exactly: the destination forecasts the same bits the source
+  // would have.
+  core::RuntimeParams runtime;
+  runtime.predictor.kind = "holt";
+  ClusterHarness h({}, runtime);
+  const std::uint64_t s = h.router.open_session(h.profile);
+
+  std::vector<std::unique_ptr<PendingRequest>> reqs;
+  for (int i = 0; i < 6; ++i) {
+    reqs.push_back(std::make_unique<PendingRequest>(h.sim));
+    ASSERT_EQ(h.a.submit(reqs.back()->request(s, 5)),
+              core::SubmitStatus::kAccepted);
+  }
+  h.sim.run_until(seconds(30));
+  ASSERT_GT(h.a.session_predictor(s).samples(), 0u);
+  const double forecast_before = h.a.session_predictor(s).forecast(seconds(1));
+
+  serve::SessionExport ex = h.a.export_session(s);
+  const serve::SessionState original = ex.state;
+  // Holt packs level + trend; the payload is charged to the wire.
+  EXPECT_GT(predict::state_wire_bytes(original.predictor), 0);
+  // The source predictor reset alongside the tracker it shadows.
+  EXPECT_EQ(h.a.session_predictor(s).samples(), 0u);
+
+  h.b.import_session(s, std::move(ex));
+  check::audit_equal(original.predictor,
+                     h.b.session_predictor(s).export_state());
+  EXPECT_EQ(h.b.session_predictor(s).forecast(seconds(1)), forecast_before);
+
   serve::SessionExport back = h.b.export_session(s);
   check::audit_equal(original, back.state);
 }

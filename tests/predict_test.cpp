@@ -1,0 +1,239 @@
+#include "predict/load_predictor.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "check/invariants.h"
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace lp::predict {
+namespace {
+
+PredictorParams params_of(const std::string& kind) {
+  PredictorParams params;
+  params.kind = kind;
+  return params;
+}
+
+TEST(PredictorRegistry, ListsTheFiveBuiltinsSorted) {
+  const std::vector<std::string> expected = {"decay-diff", "ewma",
+                                             "holt", "last-value", "llsp"};
+  EXPECT_EQ(registered_predictors(), expected);
+}
+
+TEST(PredictorRegistry, UnknownKindThrows) {
+  EXPECT_THROW(make_predictor(params_of("oracle")), ContractError);
+}
+
+TEST(PredictorRegistry, DefaultKindIsLastValue) {
+  const auto predictor = make_predictor(PredictorParams{});
+  EXPECT_STREQ(predictor->name(), "last-value");
+}
+
+TEST(LastValue, ForecastsItsLastObservationAtEveryHorizon) {
+  const auto p = make_predictor(params_of("last-value"));
+  EXPECT_EQ(p->forecast(seconds(1)), 0.0);  // nothing observed yet
+  p->observe(milliseconds(10), 3.25);
+  p->observe(milliseconds(20), 1.75);
+  for (DurationNs h : {DurationNs{0}, milliseconds(50), seconds(30)})
+    EXPECT_EQ(p->forecast(h), 1.75);  // exact, not approximate
+}
+
+TEST(LastValue, PacksNoVectorsSoMigrationAddsZeroBytes) {
+  const auto p = make_predictor(params_of("last-value"));
+  p->observe(milliseconds(1), 2.0);
+  p->observe(milliseconds(2), 4.0);
+  EXPECT_EQ(state_wire_bytes(p->export_state()), 0);
+}
+
+TEST(Ewma, SmoothsBetweenLevelAndObservation) {
+  const auto p = make_predictor(params_of("ewma"));
+  p->observe(seconds(1), 1.0);
+  p->observe(seconds(2), 3.0);
+  // alpha 0.3: level = 0.3 * 3 + 0.7 * 1 = 1.6, flat at every horizon.
+  EXPECT_DOUBLE_EQ(p->forecast(0), 1.6);
+  EXPECT_DOUBLE_EQ(p->forecast(seconds(10)), 1.6);
+}
+
+TEST(DecayDiff, ExtrapolatesTheSmoothedDifference) {
+  const auto p = make_predictor(params_of("decay-diff"));
+  TimeNs now = 0;
+  double v = 1.0;
+  for (int i = 0; i < 20; ++i) {
+    now += seconds(1);
+    v += 0.5;
+    p->observe(now, v);
+  }
+  // A steady ramp: the forecast moves in the ramp's direction, one
+  // smoothed step (~0.5) per observation gap (1s).
+  EXPECT_GT(p->forecast(seconds(1)), p->last_value());
+  EXPECT_NEAR(p->forecast(seconds(1)), p->last_value() + 0.5, 0.05);
+}
+
+TEST(Holt, TracksALinearTrend) {
+  const auto p = make_predictor(params_of("holt"));
+  TimeNs now = 0;
+  double v = 2.0;
+  for (int i = 0; i < 60; ++i) {
+    now += seconds(1);
+    v += 1.0;
+    p->observe(now, v);
+  }
+  // Converged level ~= the last value, trend ~= +1 per 1s step.
+  EXPECT_NEAR(p->forecast(seconds(3)), v + 3.0, 0.2);
+}
+
+TEST(Holt, TrendExtrapolationIsCapped) {
+  PredictorParams params = params_of("holt");
+  params.max_trend_steps = 4.0;
+  const auto p = make_predictor(params);
+  TimeNs now = 0;
+  double v = 2.0;
+  for (int i = 0; i < 60; ++i) {
+    now += seconds(1);
+    v += 1.0;
+    p->observe(now, v);
+  }
+  // A 100s horizon is 100 gaps, but extrapolation stops at 4 steps.
+  EXPECT_NEAR(p->forecast(seconds(100)), v + 4.0, 0.2);
+}
+
+TEST(Llsp, IsExactOnALinearSeries) {
+  const auto p = make_predictor(params_of("llsp"));
+  TimeNs now = 0;
+  for (int i = 0; i < 12; ++i) {
+    now += milliseconds(100);
+    p->observe(now, 1.0 + 0.25 * static_cast<double>(i));
+  }
+  // Least squares through exactly-linear points reproduces the line:
+  // slope 0.25 per 100ms = 2.5/s, read 1s past the newest sample.
+  const double expected = 1.0 + 0.25 * 11.0 + 2.5;
+  EXPECT_NEAR(p->forecast(seconds(1)), expected, 1e-9);
+}
+
+TEST(Llsp, FallsBackToLastValueWithoutTimeSpread) {
+  const auto p = make_predictor(params_of("llsp"));
+  p->observe(seconds(1), 5.0);
+  EXPECT_EQ(p->forecast(seconds(9)), 5.0);  // one point: no line to fit
+}
+
+TEST(Forecast, ClampsRunawayExtrapolation) {
+  PredictorParams params = params_of("llsp");
+  params.max_abs_forecast = 10.0;
+  const auto p = make_predictor(params);
+  p->observe(milliseconds(1), 1.0);
+  p->observe(milliseconds(2), 100.0);  // slope 99,000/s
+  EXPECT_EQ(p->forecast(seconds(60)), 10.0);
+}
+
+TEST(ErrorStats, ScoreTheStandingForecastBeforeAbsorbing) {
+  const auto p = make_predictor(params_of("last-value"));
+  EXPECT_TRUE(std::isnan(p->observe(seconds(1), 1.0)));  // nothing standing
+  const double err = p->observe(seconds(2), 3.0);
+  // The standing last-value forecast was 1.0; the series read 3.0.
+  EXPECT_DOUBLE_EQ(err, -2.0);
+  EXPECT_EQ(p->scored(), 1u);
+  EXPECT_DOUBLE_EQ(p->mae(), 2.0);
+  EXPECT_DOUBLE_EQ(p->bias(), -2.0);
+}
+
+TEST(Confidence, StaysInUnitIntervalAndRampsWithSamples) {
+  const auto p = make_predictor(params_of("ewma"));
+  EXPECT_EQ(p->confidence(), 0.0);
+  Rng rng(7);
+  TimeNs now = 0;
+  double previous = 0.0;
+  for (int i = 0; i < 32; ++i) {
+    now += milliseconds(50);
+    p->observe(now, rng.uniform(1.0, 2.0));
+    const double c = p->confidence();
+    EXPECT_GE(c, 0.0);
+    EXPECT_LE(c, 1.0);
+    if (i == 3) previous = c;
+  }
+  // More samples of a bounded series never collapse the trust to zero.
+  EXPECT_GT(p->confidence(), 0.0);
+  EXPECT_GT(previous, 0.0);
+}
+
+TEST(ObserveContract, RejectsNonFiniteAndTimeTravel) {
+  const auto p = make_predictor(params_of("holt"));
+  EXPECT_THROW(p->observe(seconds(1), std::nan("")), ContractError);
+  p->observe(seconds(2), 1.0);
+  EXPECT_THROW(p->observe(seconds(1), 2.0), ContractError);
+}
+
+TEST(StateRoundTrip, IsBitIdenticalAndForecastsTheSameBits) {
+  for (const std::string& kind : registered_predictors()) {
+    const auto original = make_predictor(params_of(kind));
+    Rng rng(0xBEEF);
+    TimeNs now = 0;
+    for (int i = 0; i < 40; ++i) {
+      now += milliseconds(rng.uniform_int(1, 400));
+      original->observe(now, rng.uniform(1.0, 16.0));
+    }
+    const PredictorState state = original->export_state();
+    const auto restored = make_predictor(params_of(kind));
+    restored->import_state(state);
+    check::audit_equal(state, restored->export_state());
+    for (int i = 0; i < 10; ++i) {
+      now += milliseconds(rng.uniform_int(1, 400));
+      const double v = rng.uniform(1.0, 16.0);
+      EXPECT_EQ(original->observe(now, v), restored->observe(now, v))
+          << kind;
+      EXPECT_EQ(original->forecast(seconds(2)), restored->forecast(seconds(2)))
+          << kind;
+    }
+  }
+}
+
+TEST(StateRoundTrip, KindMismatchThrows) {
+  const auto holt = make_predictor(params_of("holt"));
+  holt->observe(seconds(1), 2.0);
+  const auto ewma = make_predictor(params_of("ewma"));
+  EXPECT_THROW(ewma->import_state(holt->export_state()), ContractError);
+}
+
+TEST(Reset, ReturnsToTheJustConstructedState) {
+  for (const std::string& kind : registered_predictors()) {
+    const auto p = make_predictor(params_of(kind));
+    const PredictorState fresh = p->export_state();
+    p->observe(seconds(1), 4.0);
+    p->observe(seconds(2), 8.0);
+    p->reset();
+    check::audit_equal(fresh, p->export_state());
+    EXPECT_EQ(p->forecast(seconds(1)), 0.0) << kind;
+  }
+}
+
+TEST(CustomRegistration, PluginResolvesByName) {
+  class Pessimist final : public LoadPredictor {
+   public:
+    using LoadPredictor::LoadPredictor;
+    const char* name() const override { return "pessimist"; }
+
+   private:
+    void update(TimeNs, double) override {}
+    double project(double) const override { return last_value() * 2.0; }
+    void reset_model() override {}
+    void pack(PredictorState*) const override {}
+    void unpack(const PredictorState&) override {}
+  };
+  register_predictor("pessimist", [](const PredictorParams& params) {
+    return std::unique_ptr<LoadPredictor>(new Pessimist(params));
+  });
+  const auto p = make_predictor(params_of("pessimist"));
+  p->observe(seconds(1), 3.0);
+  EXPECT_DOUBLE_EQ(p->forecast(0), 6.0);
+  const auto names = registered_predictors();
+  EXPECT_NE(std::find(names.begin(), names.end(), "pessimist"), names.end());
+}
+
+}  // namespace
+}  // namespace lp::predict

@@ -72,6 +72,16 @@ TEST(LoadFactorTracker, RejectsNonPositivePrediction) {
   EXPECT_THROW(k.record(1.0, 0.0), ContractError);
 }
 
+TEST(LoadFactorTracker, DropsNonPositiveMeasurements) {
+  LoadFactorTracker k(4);
+  k.record(2.0, 1.0);
+  const double before = k.k();
+  k.record(0.0, 1.0);  // carries no load information; must not drag k down
+  EXPECT_DOUBLE_EQ(k.k(), before);
+  EXPECT_EQ(k.window_size(), 1u);
+  EXPECT_EQ(k.records(), 1u);
+}
+
 struct Harness {
   sim::Simulator sim;
   hw::CpuModel cpu;

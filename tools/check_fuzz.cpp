@@ -7,7 +7,7 @@
 // prints the smallest still-failing instance with a replay command:
 //
 //   check_fuzz [--seed N] [--cases N]
-//              [--kind decision|cache|queue|fleet|cluster]
+//              [--kind decision|cache|queue|fleet|cluster|predict]
 //   check_fuzz --kind queue --replay 0x1234abcd [--level 2]
 //
 // Exit code 0 = every case passed, 1 = a divergence / invariant violation
@@ -42,7 +42,7 @@ struct Options {
 bool parse_kind(const char* name, CaseKind* out) {
   for (CaseKind kind :
        {CaseKind::kDecision, CaseKind::kCache, CaseKind::kQueue,
-        CaseKind::kFleet, CaseKind::kCluster}) {
+        CaseKind::kFleet, CaseKind::kCluster, CaseKind::kPredict}) {
     if (std::strcmp(name, lp::check::case_kind_name(kind)) == 0) {
       *out = kind;
       return true;
@@ -55,7 +55,7 @@ bool parse_kind(const char* name, CaseKind* out) {
   std::fprintf(
       stderr,
       "usage: check_fuzz [--seed N] [--cases N] "
-      "[--kind decision|cache|queue|fleet|cluster]\n"
+      "[--kind decision|cache|queue|fleet|cluster|predict]\n"
       "       check_fuzz --kind K --replay CASE_SEED [--level L]\n");
   std::exit(2);
 }
@@ -145,12 +145,13 @@ int main(int argc, char** argv) {
   // Round-robin with fleet and cluster under-weighted: a fleet or cluster
   // case simulates seconds of sim time and costs ~100x a decision case.
   const std::vector<CaseKind> cycle = {
-      CaseKind::kDecision, CaseKind::kCache, CaseKind::kQueue,
-      CaseKind::kDecision, CaseKind::kCache, CaseKind::kQueue,
-      CaseKind::kDecision, CaseKind::kFleet,  CaseKind::kDecision,
-      CaseKind::kCache,    CaseKind::kQueue,  CaseKind::kCluster};
+      CaseKind::kDecision, CaseKind::kCache,   CaseKind::kQueue,
+      CaseKind::kPredict,  CaseKind::kDecision, CaseKind::kCache,
+      CaseKind::kQueue,    CaseKind::kDecision, CaseKind::kFleet,
+      CaseKind::kDecision, CaseKind::kPredict,  CaseKind::kCache,
+      CaseKind::kQueue,    CaseKind::kCluster};
 
-  std::uint64_t per_kind[5] = {0, 0, 0, 0, 0};
+  std::uint64_t per_kind[6] = {0, 0, 0, 0, 0, 0};
   for (std::uint64_t i = 0; i < opts.cases; ++i) {
     const CaseKind kind =
         opts.has_kind ? opts.kind : cycle[i % cycle.size()];
@@ -168,13 +169,14 @@ int main(int argc, char** argv) {
   }
 
   std::printf("OK: %llu cases (decision %llu, cache %llu, queue %llu, "
-              "fleet %llu, cluster %llu), seed %llu\n",
+              "fleet %llu, cluster %llu, predict %llu), seed %llu\n",
               static_cast<unsigned long long>(opts.cases),
               static_cast<unsigned long long>(per_kind[0]),
               static_cast<unsigned long long>(per_kind[1]),
               static_cast<unsigned long long>(per_kind[2]),
               static_cast<unsigned long long>(per_kind[3]),
               static_cast<unsigned long long>(per_kind[4]),
+              static_cast<unsigned long long>(per_kind[5]),
               static_cast<unsigned long long>(opts.seed));
   return 0;
 }
