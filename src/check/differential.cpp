@@ -178,19 +178,35 @@ bool ref_before(serve::QueuePolicy policy, const serve::QueuedJob& a,
   switch (policy) {
     case serve::QueuePolicy::kFifo:
       break;
-    case serve::QueuePolicy::kEdf: {
-      constexpr TimeNs kNone = std::numeric_limits<TimeNs>::max();
-      const TimeNs da = a.deadline == 0 ? kNone : a.deadline;
-      const TimeNs db = b.deadline == 0 ? kNone : b.deadline;
-      if (da != db) return da < db;
+    case serve::QueuePolicy::kEdf:
+      // core::kNoDeadline is TimeNs max, so deadline-free jobs sort last.
+      if (a.deadline != b.deadline) return a.deadline < b.deadline;
       break;
-    }
     case serve::QueuePolicy::kSpjf:
       if (a.predicted_sec != b.predicted_sec)
         return a.predicted_sec < b.predicted_sec;
       break;
+    case serve::QueuePolicy::kLeastSlack: {
+      const bool has_a = a.deadline != core::kNoDeadline;
+      const bool has_b = b.deadline != core::kNoDeadline;
+      if (has_a != has_b) return has_a;
+      if (has_a) {
+        const double key_a =
+            static_cast<double>(a.deadline) - a.predicted_sec * 1e9;
+        const double key_b =
+            static_cast<double>(b.deadline) - b.predicted_sec * 1e9;
+        if (key_a != key_b) return key_a < key_b;
+      }
+      break;
+    }
   }
   return a.seq < b.seq;
+}
+
+/// Replicates the push-boundary prediction clamp for the mirror model.
+double ref_sanitized(double predicted_sec) {
+  if (!std::isfinite(predicted_sec) || predicted_sec < 0.0) return 0.0;
+  return predicted_sec;
 }
 
 /// Two distinct (graph, profile) fixtures so take_matching has real model
@@ -212,7 +228,7 @@ const QueueFixtures& queue_fixtures() {
 
 void queue_case(std::uint64_t seed, int level) {
   Rng rng(seed ^ 0x0E0E0ull);
-  const auto policy = static_cast<serve::QueuePolicy>(rng.uniform_int(0, 2));
+  const auto policy = static_cast<serve::QueuePolicy>(rng.uniform_int(0, 3));
   const std::size_t capacity =
       static_cast<std::size_t>(rng.uniform_int(1, 8));
   serve::RequestQueue queue(policy, capacity);
@@ -228,10 +244,110 @@ void queue_case(std::uint64_t seed, int level) {
       }
     LP_CHECK_MSG(false, "queue returned a job the mirror never admitted");
   };
+  auto random_job = [&](int i) {
+    serve::QueuedJob job;
+    job.seq = next_seq++;
+    job.session = static_cast<std::uint64_t>(rng.uniform_int(0, 3));
+    job.profile = rng.bernoulli(0.5) ? &fx.p0 : &fx.p1;
+    job.p = static_cast<std::size_t>(rng.uniform_int(0, 2));
+    // Half the jobs carry a deadline; occasionally the legitimate absolute
+    // deadline 0 (a request stamped at sim time 0), which the old
+    // 0-means-none sentinel conflated with "no deadline".
+    if (rng.bernoulli(0.5))
+      job.deadline = rng.bernoulli(0.1)
+                         ? 0
+                         : milliseconds(rng.uniform_int(1, 500));
+    job.enqueued = milliseconds(i);
+    // Adversarial magnitudes: exact powers of two spanning ~28 decades
+    // (plus occasional zeros) — the inputs that made the old clamped
+    // subtraction scheme drift — and, at the push boundary, hostile
+    // non-finite / negative predictions that must be clamped to zero
+    // before they can break the SPJF/least-slack ordering.
+    if (rng.bernoulli(0.15)) {
+      const double hostile[] = {std::numeric_limits<double>::quiet_NaN(),
+                                std::numeric_limits<double>::infinity(),
+                                -std::numeric_limits<double>::infinity(),
+                                -1.5};
+      job.predicted_sec =
+          hostile[static_cast<std::size_t>(rng.uniform_int(0, 3))];
+    } else {
+      job.predicted_sec =
+          rng.bernoulli(0.1)
+              ? 0.0
+              : std::ldexp(rng.uniform(1.0, 2.0),
+                           static_cast<int>(rng.uniform_int(-40, 53)));
+    }
+    return job;
+  };
+  // Policy-order reference for take_matching: repeatedly pick the
+  // ref_before-best matching, non-expired job, exactly as the batch fills.
+  auto expected_matching = [&](const core::GraphCostProfile* profile,
+                               std::size_t p, std::size_t limit,
+                               TimeNs cutoff) {
+    std::vector<serve::QueuedJob> pool = mirror;
+    std::vector<std::uint64_t> expected;
+    while (expected.size() < limit) {
+      std::size_t best = pool.size();
+      for (std::size_t j = 0; j < pool.size(); ++j) {
+        if (pool[j].profile != profile || pool[j].p != p) continue;
+        if (pool[j].deadline != core::kNoDeadline &&
+            pool[j].deadline <= cutoff)
+          continue;
+        if (best == pool.size() || ref_before(policy, pool[j], pool[best]))
+          best = j;
+      }
+      if (best == pool.size()) break;
+      expected.push_back(pool[best].seq);
+      pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(best));
+    }
+    return expected;
+  };
 
   const int ops = level >= 2 ? 15 : (level == 1 ? 40 : 100);
   for (int i = 0; i < ops; ++i) {
     switch (rng.uniform_int(0, 9)) {
+      case 4: {  // push_migrated (bypasses the capacity bound)
+        serve::QueuedJob job = random_job(i);
+        queue.push_migrated(job);
+        job.predicted_sec = ref_sanitized(job.predicted_sec);
+        job.migrated = true;
+        mirror.push_back(job);
+        break;
+      }
+      case 5: {  // take_session / take_expired (both arrival-order sweeps)
+        if (rng.bernoulli(0.5)) {
+          const auto session =
+              static_cast<std::uint64_t>(rng.uniform_int(0, 3));
+          const std::vector<serve::QueuedJob> taken =
+              queue.take_session(session);
+          std::vector<std::uint64_t> expected;
+          for (const serve::QueuedJob& job : mirror)
+            if (job.session == session) expected.push_back(job.seq);
+          LP_CHECK_MSG(taken.size() == expected.size(),
+                       "take_session count diverges from the reference");
+          for (std::size_t j = 0; j < taken.size(); ++j) {
+            LP_CHECK_MSG(taken[j].seq == expected[j],
+                         "take_session must sweep in arrival order");
+            mirror_erase_seq(taken[j].seq);
+          }
+        } else {
+          const TimeNs now = milliseconds(rng.uniform_int(0, 500));
+          const std::vector<serve::QueuedJob> expired =
+              queue.take_expired(now);
+          std::vector<std::uint64_t> expected;
+          for (const serve::QueuedJob& job : mirror)
+            if (job.deadline != core::kNoDeadline && job.deadline <= now)
+              expected.push_back(job.seq);
+          LP_CHECK_MSG(expired.size() == expected.size(),
+                       "take_expired count diverges from the reference");
+          for (std::size_t j = 0; j < expired.size(); ++j) {
+            LP_CHECK_MSG(expired[j].seq == expected[j],
+                         "take_expired must sweep in arrival order");
+            mirror_erase_seq(expired[j].seq);
+          }
+        }
+        break;
+      }
       case 6:
       case 7: {  // pop_next
         if (queue.empty()) break;
@@ -244,21 +360,20 @@ void queue_case(std::uint64_t seed, int level) {
         mirror_erase_seq(popped.seq);
         break;
       }
-      case 8: {  // take_matching
+      case 8: {  // take_matching (policy order, optional expiry cutoff)
         const core::GraphCostProfile* profile =
             rng.bernoulli(0.5) ? &fx.p0 : &fx.p1;
         const std::size_t p =
             static_cast<std::size_t>(rng.uniform_int(0, 2));
         const std::size_t limit =
             static_cast<std::size_t>(rng.uniform_int(1, 4));
+        const TimeNs cutoff = rng.bernoulli(0.3)
+                                  ? milliseconds(rng.uniform_int(0, 500))
+                                  : serve::kNeverExpired;
         std::vector<serve::QueuedJob> out;
-        queue.take_matching(profile, p, limit, &out);
-        std::vector<std::uint64_t> expected;
-        for (const serve::QueuedJob& job : mirror) {
-          if (expected.size() >= limit) break;
-          if (job.profile == profile && job.p == p)
-            expected.push_back(job.seq);
-        }
+        queue.take_matching(profile, p, limit, &out, cutoff);
+        const std::vector<std::uint64_t> expected =
+            expected_matching(profile, p, limit, cutoff);
         LP_CHECK_MSG(out.size() == expected.size(),
                      "take_matching count diverges from the reference");
         for (std::size_t j = 0; j < out.size(); ++j) {
@@ -278,31 +393,28 @@ void queue_case(std::uint64_t seed, int level) {
         break;
       }
       default: {  // push, the common op
-        serve::QueuedJob job;
-        job.seq = next_seq++;
-        job.session = static_cast<std::uint64_t>(rng.uniform_int(0, 3));
-        job.profile = rng.bernoulli(0.5) ? &fx.p0 : &fx.p1;
-        job.p = static_cast<std::size_t>(rng.uniform_int(0, 2));
-        if (rng.bernoulli(0.5))
-          job.deadline = milliseconds(rng.uniform_int(1, 500));
-        job.enqueued = milliseconds(i);
-        // Adversarial magnitudes: exact powers of two spanning ~28 decades
-        // (plus occasional zeros) — the inputs that made the old clamped
-        // subtraction scheme drift.
-        job.predicted_sec =
-            rng.bernoulli(0.1)
-                ? 0.0
-                : std::ldexp(rng.uniform(1.0, 2.0),
-                             static_cast<int>(rng.uniform_int(-40, 53)));
+        serve::QueuedJob job = random_job(i);
         const bool pushed = queue.push(job);
         LP_CHECK_MSG(pushed == (mirror.size() < capacity),
                      "push accepted/rejected against the capacity bound");
-        if (pushed) mirror.push_back(job);
+        if (pushed) {
+          job.predicted_sec = ref_sanitized(job.predicted_sec);
+          mirror.push_back(job);
+        }
         break;
       }
     }
     audit(queue);
     LP_CHECK(queue.size() == mirror.size());
+    std::size_t migrated = 0;
+    for (const serve::QueuedJob& job : mirror)
+      if (job.migrated) ++migrated;
+    LP_CHECK_MSG(queue.migrated_in_queue() == migrated,
+                 "migrated-in-queue count diverges from the reference");
+    double backlog = 0.0;
+    for (const serve::QueuedJob& job : mirror) backlog += job.predicted_sec;
+    LP_CHECK_MSG(queue.predicted_backlog_sec() == backlog,
+                 "backlog diverges from the reference left-to-right sum");
   }
 }
 

@@ -162,15 +162,20 @@ serve::FleetConfig random_fleet_config(std::uint64_t seed, int level) {
   config.profiler_period = milliseconds(rng.uniform_int(200, 800));
   config.watcher_period = milliseconds(rng.uniform_int(500, 2000));
 
-  const int policies = static_cast<int>(rng.uniform_int(0, 2));
+  const serve::QueuePolicy policies[] = {
+      serve::QueuePolicy::kFifo, serve::QueuePolicy::kEdf,
+      serve::QueuePolicy::kSpjf, serve::QueuePolicy::kLeastSlack};
   config.frontend.policy =
-      policies == 0 ? serve::QueuePolicy::kFifo
-                    : (policies == 1 ? serve::QueuePolicy::kEdf
-                                     : serve::QueuePolicy::kSpjf);
+      policies[static_cast<std::size_t>(rng.uniform_int(0, 3))];
   config.frontend.queue_capacity =
       static_cast<std::size_t>(rng.uniform_int(2, 32));
   config.frontend.admission_control = rng.bernoulli(0.5);
   config.frontend.delay_budget_sec = rng.uniform(0.02, 0.3);
+  // Deadline-centric arms: admission against the request's own deadline
+  // and dispatch-time will-miss shedding (both only bite for tenants that
+  // draw an SLO below).
+  config.frontend.deadline_admission = rng.bernoulli(0.3);
+  config.frontend.shed_will_miss = rng.bernoulli(0.3);
   config.frontend.max_batch = static_cast<std::size_t>(rng.uniform_int(1, 4));
   if (config.frontend.max_batch > 1 && rng.bernoulli(0.5))
     config.frontend.batch_window = milliseconds(rng.uniform_int(1, 10));
@@ -274,6 +279,13 @@ cluster::ClusterConfig random_cluster_config(std::uint64_t seed, int level) {
 
   config.frontend.queue_capacity =
       static_cast<std::size_t>(rng.uniform_int(8, 32));
+  const serve::QueuePolicy cluster_policies[] = {
+      serve::QueuePolicy::kFifo, serve::QueuePolicy::kEdf,
+      serve::QueuePolicy::kSpjf, serve::QueuePolicy::kLeastSlack};
+  config.frontend.policy =
+      cluster_policies[static_cast<std::size_t>(rng.uniform_int(0, 3))];
+  config.frontend.deadline_admission = rng.bernoulli(0.25);
+  config.frontend.shed_will_miss = rng.bernoulli(0.25);
 
   cluster::RouterParams& router = config.router;
   router.placement = rng.bernoulli(0.5)
@@ -314,6 +326,9 @@ cluster::ClusterConfig random_cluster_config(std::uint64_t seed, int level) {
   spec.rtt = milliseconds(rng.uniform_int(1, 5));
   spec.request_gap = milliseconds(rng.uniform_int(5, 30));
   spec.poisson_arrivals = rng.bernoulli(0.5);
+  // An SLO arms the deadline machinery (EDF/least-slack keys, deadline
+  // admission, will-miss shedding) for this tenant's requests.
+  if (rng.bernoulli(0.4)) spec.slo_sec = rng.uniform(0.1, 0.5);
   config.tenants.push_back(spec);
 
   // Chaos: lossy heartbeat channels per server, a lossy interconnect, and

@@ -94,6 +94,14 @@ void audit(const serve::EdgeServerFrontend& frontend) {
   LP_CHECK(s.batched_dispatches <= s.dispatches);
   LP_CHECK(s.alive == frontend.alive());
 
+  // Deadline-shed taxonomy: will-miss sheds and epoch fencings are disjoint
+  // subsets of the failed jobs (the remainder are crash casualties), and
+  // deadline-admission sheds are a subset of all sheds.
+  LP_CHECK_MSG(s.deadline_shed + s.fenced_jobs <= s.failed_jobs,
+               "deadline sheds + fenced jobs exceed failed jobs");
+  LP_CHECK_MSG(s.deadline_shed_admission <= s.shed,
+               "deadline-admission sheds exceed total sheds");
+
   // Fail-stop contract: a crashed server holds no work.
   if (!s.alive) {
     LP_CHECK_MSG(s.queue_depth == 0 && s.inflight_jobs == 0,

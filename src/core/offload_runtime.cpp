@@ -513,6 +513,30 @@ sim::Task OffloadClient::infer(InferenceRecord* out) {
             failure = down.status == net::TransferStatus::kLost
                           ? FailureKind::kLinkDrop
                           : FailureKind::kTimeout;
+          } else if (reply->status == SuffixStatus::kDeadlineShed) {
+            // The dispatcher dropped the job because its deadline had
+            // already passed in queue — retrying cannot beat a deadline
+            // that is already gone, so this resolves exactly like an
+            // admission shed: degrade to the device, count the shed as a
+            // load signal (k backs off), and let the breaker see a
+            // reachability success (the server answered).
+            rec.outcome = InferenceOutcome::kDegradedLocal;
+            rec.last_failure = FailureKind::kDeadlineShed;
+            if (telemetry_ != nullptr) {
+              failure_counters_[static_cast<std::size_t>(
+                                    FailureKind::kDeadlineShed)]
+                  ->add();
+              if (auto* tr = trace())
+                tr->instant(track_, "deadline-shed", sim_->now(),
+                            obs::TraceArgs().arg("p", p));
+            }
+            breaker_.record_success();
+            if (policy_ == Policy::kLoadPart)
+              k_cached_ =
+                  std::min(k_cached_ * params_.reject_k_backoff, 1e6);
+            co_await run_suffix_locally(p, &rec);
+            resolved = true;
+            continue;
           } else {
             // kFenced means the serving placement was superseded while the
             // job waited — from the client's side that is the same "this

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -156,6 +157,12 @@ struct InferenceRecord {
 /// result is ready". The transfer times of the request payload and the
 /// result are charged by the client on its link; the service charges the
 /// partition preparation and GPU execution.
+/// "This request has no deadline." TimeNs max sorts after every real
+/// deadline, so EDF and least-slack order deadline-free jobs last without a
+/// special case — and, unlike the old 0-means-none encoding, it cannot
+/// collide with a legitimate absolute deadline of 0 stamped at sim time 0.
+inline constexpr TimeNs kNoDeadline = std::numeric_limits<TimeNs>::max();
+
 /// How the server resolved one SuffixRequest (written through
 /// SuffixRequest::status before `done` triggers). kClientTimeout is set by
 /// the client's own deadline watcher, never by the server.
@@ -165,6 +172,9 @@ enum class SuffixStatus : std::uint8_t {
   kClientTimeout,  ///< the client's RPC deadline expired while waiting
   kFenced,         ///< rejected by the session's fencing epoch (the job
                    ///< belongs to a superseded placement; retry elsewhere)
+  kDeadlineShed,   ///< dropped by the dispatcher: the deadline had already
+                   ///< passed in queue, so running it could only waste GPU
+                   ///< time on a guaranteed miss (degrade locally instead)
 };
 
 struct SuffixRequest {
@@ -181,7 +191,7 @@ struct SuffixRequest {
 
   // Serving-layer metadata (ignored by the plain OffloadServer).
   std::uint64_t session = 0;   ///< frontend session of the requesting client
-  TimeNs deadline = 0;         ///< absolute deadline for EDF; 0 = none
+  TimeNs deadline = kNoDeadline;  ///< absolute deadline (EDF / least-slack)
   double predicted_sec = 0.0;  ///< client's k-adjusted suffix prediction
   double bandwidth_bps = 0.0;  ///< client's current bandwidth estimate
   TimeNs enqueued = 0;         ///< filled by the service on arrival

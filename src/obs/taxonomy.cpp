@@ -34,6 +34,8 @@ const char* failure_name(FailureKind kind) {
       return "server_down";
     case FailureKind::kShed:
       return "shed";
+    case FailureKind::kDeadlineShed:
+      return "deadline_shed";
   }
   LP_CHECK_MSG(false, "unknown failure kind");
   return "?";

@@ -37,12 +37,14 @@ inline constexpr std::size_t kOutcomeCount = 5;
 /// admission-control "server busy" reply; the rest are failures).
 enum class FailureKind : std::uint8_t {
   kNone,
-  kTimeout,     ///< the per-attempt RPC deadline expired
-  kLinkDrop,    ///< injected packet loss killed a transfer
-  kServerDown,  ///< the server crashed mid-request or refused as down
-  kShed,        ///< admission control shed the request
+  kTimeout,       ///< the per-attempt RPC deadline expired
+  kLinkDrop,      ///< injected packet loss killed a transfer
+  kServerDown,    ///< the server crashed mid-request or refused as down
+  kShed,          ///< admission control shed the request
+  kDeadlineShed,  ///< the dispatcher dropped the queued job because its
+                  ///< deadline had already passed (a guaranteed SLO miss)
 };
-inline constexpr std::size_t kFailureKindCount = 5;
+inline constexpr std::size_t kFailureKindCount = 6;
 
 const char* outcome_name(Outcome outcome);
 const char* failure_name(FailureKind kind);
@@ -74,6 +76,9 @@ class OutcomeCounts {
   std::size_t timeouts() const { return count(FailureKind::kTimeout); }
   std::size_t link_drops() const { return count(FailureKind::kLinkDrop); }
   std::size_t server_downs() const { return count(FailureKind::kServerDown); }
+  std::size_t deadline_sheds() const {
+    return count(FailureKind::kDeadlineShed);
+  }
   std::size_t retries() const { return retries_; }
   std::size_t faults() const { return faults_; }
   std::size_t breaker_forced_local() const { return breaker_forced_local_; }

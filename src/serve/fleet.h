@@ -107,6 +107,9 @@ struct TenantSummary {
   std::size_t timeouts() const { return outcomes.timeouts(); }
   std::size_t link_drops() const { return outcomes.link_drops(); }
   std::size_t server_downs() const { return outcomes.server_downs(); }
+  /// Requests the dispatcher will-miss shed (degraded locally, typed
+  /// FailureKind::kDeadlineShed).
+  std::size_t deadline_sheds() const { return outcomes.deadline_sheds(); }
 
   double mean_ms = 0.0;      ///< over every completed request
   double p90_ms = 0.0;

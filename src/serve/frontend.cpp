@@ -181,6 +181,8 @@ LoadSnapshot EdgeServerFrontend::load_snapshot(DurationNs horizon) const {
   s.migrated_in = migrated_in_;
   s.migrated_out = migrated_out_;
   s.fenced_jobs = fenced_jobs_;
+  s.deadline_shed = deadline_shed_;
+  s.deadline_shed_admission = deadline_shed_admission_;
   return s;
 }
 
@@ -424,18 +426,36 @@ core::SubmitStatus EdgeServerFrontend::submit(core::SuffixRequest request) {
   const bool over_budget =
       params_.admission_control &&
       predicted_queue_delay_sec() > params_.delay_budget_sec;
-  if (queue_.full() || over_budget) {
+  // Deadline admission: shed when the request provably cannot make its own
+  // deadline — predicted queue delay, predicted service, and the result
+  // download at the client's reported bandwidth already overrun it. The
+  // comparison stays in double so an enormous slack never overflows TimeNs.
+  bool over_deadline = false;
+  if (params_.deadline_admission && request.deadline != core::kNoDeadline) {
+    double eta_sec = predicted_queue_delay_sec() + predicted;
+    if (request.bandwidth_bps > 0.0)
+      eta_sec += static_cast<double>(
+                     session.profile->graph().output_desc().bytes() * 8) /
+                 request.bandwidth_bps;
+    over_deadline = static_cast<double>(request.deadline - sim_->now()) <
+                    eta_sec * 1e9;
+  }
+  if (queue_.full() || over_budget || over_deadline) {
     ++shed_;
     ++session.shed;
+    if (over_deadline) ++deadline_shed_admission_;
     if (telemetry_ != nullptr) {
       shed_counter_->add();
-      if (auto* tr = trace())
-        tr->instant(track_, "shed", sim_->now(),
-                    obs::TraceArgs()
-                        .arg("session", request.session)
-                        .arg("queue_full", queue_.full())
-                        .arg("predicted_delay_sec",
-                             predicted_queue_delay_sec()));
+      if (auto* tr = trace()) {
+        obs::TraceArgs args;
+        args.arg("session", request.session)
+            .arg("queue_full", queue_.full());
+        // Only stamped when deadline admission is on, so legacy traces
+        // stay byte-identical.
+        if (params_.deadline_admission) args.arg("will_miss", over_deadline);
+        args.arg("predicted_delay_sec", predicted_queue_delay_sec());
+        tr->instant(track_, "shed", sim_->now(), args);
+      }
     }
     return core::SubmitStatus::kRejected;
   }
@@ -489,11 +509,22 @@ sim::Task EdgeServerFrontend::service() {
     // A crash during the window drains the queue out from under us.
     if (queue_.empty()) continue;
 
+    // Will-miss shedding happens at the last moment before the dispatch is
+    // formed: any job whose deadline passed while it queued (including
+    // during the batching window above) is a guaranteed miss, so it is
+    // failed typed instead of occupying a GPU slot.
+    if (params_.shed_will_miss) {
+      shed_expired_jobs();
+      if (queue_.empty()) continue;
+    }
+
     std::vector<QueuedJob> batch;
     batch.push_back(queue_.pop_next());
     if (params_.max_batch > 1)
       queue_.take_matching(batch.front().profile, batch.front().p,
-                           params_.max_batch - 1, &batch);
+                           params_.max_batch - 1, &batch,
+                           params_.shed_will_miss ? sim_->now()
+                                                  : kNeverExpired);
     co_await execute_batch(std::move(batch));
   }
 }
@@ -645,6 +676,31 @@ sim::Task EdgeServerFrontend::execute_batch(std::vector<QueuedJob> batch) {
   in_flight_sec_ = 0.0;
   inflight_ = nullptr;
   delay_predictor_->observe(finished, predicted_queue_delay_sec());
+}
+
+void EdgeServerFrontend::shed_expired_jobs() {
+  const TimeNs now = sim_->now();
+  const std::vector<QueuedJob> expired = queue_.take_expired(now);
+  if (expired.empty()) return;
+  for (const QueuedJob& job : expired) {
+    ++failed_jobs_;
+    ++deadline_shed_;
+    if (job.status != nullptr)
+      *job.status = core::SuffixStatus::kDeadlineShed;
+    if (!job.done->triggered()) job.done->trigger();
+  }
+  // The backlog shrank without a dispatch; teach the delay forecaster.
+  delay_predictor_->observe(now, predicted_queue_delay_sec());
+  if (telemetry_ != nullptr) {
+    failed_counter_->add(std::int64_t(expired.size()));
+    if (auto* tr = trace()) {
+      for (const QueuedJob& job : expired)
+        tr->async_end(track_, "queue-wait", job.seq, now);
+      tr->instant(track_, "deadline-shed", now,
+                  obs::TraceArgs().arg("jobs", expired.size()));
+      observe_queue_depth();
+    }
+  }
 }
 
 void EdgeServerFrontend::attach_fault_plan(const fault::FaultPlan* plan) {

@@ -53,6 +53,21 @@ struct FrontendParams {
   /// finding work so batch-mates can arrive. max_batch = 1 disables it.
   std::size_t max_batch = 1;
   DurationNs batch_window = 0;
+
+  // Deadline-centric scheduling (ATLAS-style). Both default off so legacy
+  // configurations stay bit-identical.
+
+  /// Shed at submit when the request cannot make its own deadline: the
+  /// predicted queue delay + predicted service + result download at the
+  /// client's reported bandwidth already overruns request.deadline. Only
+  /// requests that carry a deadline are tested; the static delay-budget
+  /// check (admission_control) composes independently.
+  bool deadline_admission = false;
+
+  /// At dispatch, fail (SuffixStatus::kDeadlineShed) every queued job whose
+  /// deadline has provably passed instead of burning a GPU slot on a
+  /// guaranteed miss. The client degrades that request to local execution.
+  bool shed_will_miss = false;
 };
 
 /// One coherent read of a frontend's load and conservation counters — the
@@ -79,6 +94,12 @@ struct LoadSnapshot {
   std::uint64_t migrated_in = 0;   ///< jobs imported via session migration
   std::uint64_t migrated_out = 0;  ///< jobs exported via session migration
   std::uint64_t fenced_jobs = 0;   ///< zombie jobs rejected by epoch fence
+  /// Queued jobs failed by the will-miss shedder (subset of failed_jobs,
+  /// disjoint from fenced_jobs).
+  std::uint64_t deadline_shed = 0;
+  /// Submissions shed because deadline admission predicted a miss (subset
+  /// of shed).
+  std::uint64_t deadline_shed_admission = 0;
   /// The frontend-level LoadSignal at the snapshot's horizon: placement and
   /// rebalancing read signal.backlog_sec / signal.k_forecast instead of the
   /// raw predicted_delay_sec / mean_k fields above.
@@ -188,6 +209,12 @@ class EdgeServerFrontend : public core::SuffixService {
   std::uint64_t migrated_out() const { return migrated_out_; }
   /// Zombie jobs killed by the epoch fence (subset of failed_jobs).
   std::uint64_t fenced_jobs() const { return fenced_jobs_; }
+  /// Queued jobs failed by the will-miss shedder (subset of failed_jobs).
+  std::uint64_t deadline_shed() const { return deadline_shed_; }
+  /// Submissions shed by deadline admission (subset of shed()).
+  std::uint64_t deadline_shed_admission() const {
+    return deadline_shed_admission_;
+  }
   /// Stale session imports rejected by the epoch fence.
   std::uint64_t rejected_imports() const { return rejected_imports_; }
 
@@ -285,6 +312,11 @@ class EdgeServerFrontend : public core::SuffixService {
   sim::Task gpu_watcher(DurationNs period);
   sim::Task crash_driver();
 
+  /// Will-miss shedding: fails every queued job whose deadline has already
+  /// passed with SuffixStatus::kDeadlineShed (params_.shed_will_miss path,
+  /// called by the dispatcher just before it forms a batch).
+  void shed_expired_jobs();
+
   /// Folds a session-k forecast error into the frontend-wide predict.*
   /// aggregate (skips the unscored first sample).
   void note_forecast_error(double err);
@@ -329,6 +361,8 @@ class EdgeServerFrontend : public core::SuffixService {
   std::uint64_t migrated_out_ = 0;
   std::uint64_t fenced_jobs_ = 0;
   std::uint64_t rejected_imports_ = 0;
+  std::uint64_t deadline_shed_ = 0;
+  std::uint64_t deadline_shed_admission_ = 0;
 
   // Queue-delay forecaster (frontend-wide, not per session): observed only
   // where the delay actually mutates (admission, dispatch, batch drain) so

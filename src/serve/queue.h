@@ -2,15 +2,25 @@
 //
 // Jobs are suffix-execution requests waiting for the GPU dispatcher. The
 // queue is bounded (push fails when full — the caller sheds) and orders
-// dispatch by one of three policies:
-//   * kFifo  — arrival order (the paper's implicit single-queue service);
-//   * kEdf   — earliest deadline first (deadline 0 = no deadline, last);
-//   * kSpjf  — shortest predicted job first, using the k-adjusted
-//              PredictorBundle estimate carried by each request.
+// dispatch by one of four policies:
+//   * kFifo       — arrival order (the paper's implicit single-queue
+//                   service);
+//   * kEdf        — earliest deadline first (core::kNoDeadline sorts last);
+//   * kSpjf       — shortest predicted job first, using the k-adjusted
+//                   PredictorBundle estimate carried by each request;
+//   * kLeastSlack — least slack first (ATLAS-style): slack = deadline − now
+//                   − predicted service. `now` is common to any two jobs
+//                   compared at the same instant, so the order reduces to
+//                   deadline − predicted with no clock needed; deadline-free
+//                   jobs sort last.
 // Ties always break by arrival sequence, keeping dispatch deterministic.
+// Predictions are sanitized at the push boundary: a NaN would break the
+// strict weak ordering of SPJF/least-slack and poison the backlog sum
+// forever, so non-finite or negative predicted_sec is clamped to 0.
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -25,9 +35,13 @@ class Event;
 
 namespace lp::serve {
 
-enum class QueuePolicy { kFifo, kEdf, kSpjf };
+enum class QueuePolicy { kFifo, kEdf, kSpjf, kLeastSlack };
 
 std::string queue_policy_name(QueuePolicy policy);
+
+/// take_matching cutoff that classifies no job as expired: below every
+/// representable deadline (and kNoDeadline jobs are exempt regardless).
+inline constexpr TimeNs kNeverExpired = std::numeric_limits<TimeNs>::min();
 
 /// A suffix job parked in the frontend queue.
 struct QueuedJob {
@@ -35,7 +49,7 @@ struct QueuedJob {
   std::uint64_t session = 0;  ///< owning session
   const core::GraphCostProfile* profile = nullptr;  ///< the model served
   std::size_t p = 0;                                ///< partition point
-  TimeNs deadline = 0;                              ///< absolute; 0 = none
+  TimeNs deadline = core::kNoDeadline;              ///< absolute deadline
   TimeNs enqueued = 0;
   double predicted_sec = 0.0;  ///< k-adjusted suffix prediction (SPJF key)
   double bandwidth_bps = 0.0;  ///< client-reported bandwidth estimate
@@ -92,9 +106,21 @@ class RequestQueue {
 
   /// Removes up to `limit` jobs batch-compatible with (profile, p) —
   /// identical model and partition point — appending them to *out in
-  /// arrival order (suffix batching).
+  /// queue-policy order (suffix batching): under EDF/least-slack the batch
+  /// fills earliest-deadline/least-slack first, not arrival order, so a
+  /// late-deadline co-partition job cannot ride ahead of an earlier one.
+  /// Jobs whose deadline is at or before `expired_cutoff` are never batched
+  /// (they belong to the will-miss shedder); the default cutoff matches
+  /// nothing.
   void take_matching(const core::GraphCostProfile* profile, std::size_t p,
-                     std::size_t limit, std::vector<QueuedJob>* out);
+                     std::size_t limit, std::vector<QueuedJob>* out,
+                     TimeNs expired_cutoff = kNeverExpired);
+
+  /// Removes, in arrival order, every queued job whose deadline is at or
+  /// before `now` — jobs that will provably miss even with instant,
+  /// zero-length service. The dispatcher's will-miss shedder fails them
+  /// with a typed SuffixStatus instead of burning a GPU slot.
+  std::vector<QueuedJob> take_expired(TimeNs now);
 
   /// Removes and returns every queued job in arrival order (crash path:
   /// the caller fails them all). Leaves the queue empty.

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <vector>
 
 #include "common/check.h"
@@ -40,7 +42,7 @@ TEST(RequestQueue, EdfPopsEarliestDeadlineFirst) {
   q.push(make_job(0, seconds(9), 0.5));
   q.push(make_job(1, seconds(1), 0.1));
   q.push(make_job(2, seconds(5), 0.9));
-  q.push(make_job(3, 0, 0.1));  // no deadline: served last
+  q.push(make_job(3, core::kNoDeadline, 0.1));  // no deadline: last
   EXPECT_EQ(q.pop_next().seq, 1u);
   EXPECT_EQ(q.pop_next().seq, 2u);
   EXPECT_EQ(q.pop_next().seq, 0u);
@@ -49,9 +51,9 @@ TEST(RequestQueue, EdfPopsEarliestDeadlineFirst) {
 
 TEST(RequestQueue, SpjfPopsShortestPredictedFirst) {
   RequestQueue q(QueuePolicy::kSpjf, 8);
-  q.push(make_job(0, 0, 0.5));
-  q.push(make_job(1, 0, 0.1));
-  q.push(make_job(2, 0, 0.1));  // tie with seq 1: arrival order
+  q.push(make_job(0, core::kNoDeadline, 0.5));
+  q.push(make_job(1, core::kNoDeadline, 0.1));
+  q.push(make_job(2, core::kNoDeadline, 0.1));  // tie with seq 1: arrival order
   EXPECT_EQ(q.pop_next().seq, 1u);
   EXPECT_EQ(q.pop_next().seq, 2u);
   EXPECT_EQ(q.pop_next().seq, 0u);
@@ -59,11 +61,11 @@ TEST(RequestQueue, SpjfPopsShortestPredictedFirst) {
 
 TEST(RequestQueue, BoundedPushFailsWhenFullAndTracksBacklog) {
   RequestQueue q(QueuePolicy::kFifo, 2);
-  EXPECT_TRUE(q.push(make_job(0, 0, 0.25)));
-  EXPECT_TRUE(q.push(make_job(1, 0, 0.5)));
+  EXPECT_TRUE(q.push(make_job(0, core::kNoDeadline, 0.25)));
+  EXPECT_TRUE(q.push(make_job(1, core::kNoDeadline, 0.5)));
   EXPECT_DOUBLE_EQ(q.predicted_backlog_sec(), 0.75);
   EXPECT_TRUE(q.full());
-  EXPECT_FALSE(q.push(make_job(2, 0, 1.0)));
+  EXPECT_FALSE(q.push(make_job(2, core::kNoDeadline, 1.0)));
   EXPECT_EQ(q.size(), 2u);
   q.pop_next();
   EXPECT_DOUBLE_EQ(q.predicted_backlog_sec(), 0.5);
@@ -82,11 +84,12 @@ TEST(RequestQueue, TakeMatchingOnlyMergesIdenticalModelAndCut) {
     job.p = p;
     return job;
   };
-  q.push(with_profile(make_job(0, 0, 0.1), &pa, 5));
-  q.push(with_profile(make_job(1, 0, 0.1), &pa, 5));   // batch-mate
-  q.push(with_profile(make_job(2, 0, 0.1), &pa, 7));   // same model, other p
-  q.push(with_profile(make_job(3, 0, 0.1), &pb, 5));   // other model, same p
-  q.push(with_profile(make_job(4, 0, 0.1), &pa, 5));   // batch-mate
+  q.push(with_profile(make_job(0, core::kNoDeadline, 0.1), &pa, 5));
+  // 1, 4: batch-mates; 2: same model, other p; 3: other model, same p.
+  q.push(with_profile(make_job(1, core::kNoDeadline, 0.1), &pa, 5));
+  q.push(with_profile(make_job(2, core::kNoDeadline, 0.1), &pa, 7));
+  q.push(with_profile(make_job(3, core::kNoDeadline, 0.1), &pb, 5));
+  q.push(with_profile(make_job(4, core::kNoDeadline, 0.1), &pa, 5));
 
   std::vector<QueuedJob> batch;
   batch.push_back(q.pop_next());
@@ -96,6 +99,117 @@ TEST(RequestQueue, TakeMatchingOnlyMergesIdenticalModelAndCut) {
   EXPECT_EQ(batch[1].seq, 1u);
   EXPECT_EQ(batch[2].seq, 4u);
   EXPECT_EQ(q.size(), 2u);  // the (pa, 7) and (pb, 5) jobs stay queued
+}
+
+TEST(RequestQueue, EdfTreatsAbsoluteDeadlineZeroAsReal) {
+  // Regression: the old 0-means-none sentinel conflated a request stamped
+  // deadline 0 at sim time 0 with "no deadline" and served it last.
+  RequestQueue q(QueuePolicy::kEdf, 8);
+  q.push(make_job(0, core::kNoDeadline, 0.1));
+  q.push(make_job(1, 0, 0.1));           // legit deadline: sim time 0
+  q.push(make_job(2, seconds(1), 0.1));
+  EXPECT_EQ(q.pop_next().seq, 1u);
+  EXPECT_EQ(q.pop_next().seq, 2u);
+  EXPECT_EQ(q.pop_next().seq, 0u);
+}
+
+TEST(RequestQueue, LeastSlackOrdersByDeadlineMinusPrediction) {
+  RequestQueue q(QueuePolicy::kLeastSlack, 8);
+  // seq 0: slack key 9 - 0.5 = 8.5 s; seq 1: 1 - 0.1 = 0.9 s;
+  // seq 2: 1.2 - 0.9 = 0.3 s (a later deadline but the least slack);
+  // seq 3: no deadline, infinite slack, last.
+  q.push(make_job(0, seconds(9), 0.5));
+  q.push(make_job(1, seconds(1), 0.1));
+  q.push(make_job(2, milliseconds(1200), 0.9));
+  q.push(make_job(3, core::kNoDeadline, 0.01));
+  EXPECT_EQ(q.pop_next().seq, 2u);
+  EXPECT_EQ(q.pop_next().seq, 1u);
+  EXPECT_EQ(q.pop_next().seq, 0u);
+  EXPECT_EQ(q.pop_next().seq, 3u);
+}
+
+TEST(RequestQueue, NonFinitePredictionsAreClampedAtPush) {
+  // Regression: a NaN prediction used to enter the queue, breaking the
+  // SPJF strict weak ordering and poisoning the backlog sum forever.
+  RequestQueue q(QueuePolicy::kSpjf, 8);
+  EXPECT_TRUE(
+      q.push(make_job(0, core::kNoDeadline,
+                      std::numeric_limits<double>::quiet_NaN())));
+  EXPECT_TRUE(q.push(make_job(
+      1, core::kNoDeadline, std::numeric_limits<double>::infinity())));
+  EXPECT_TRUE(q.push(make_job(2, core::kNoDeadline, -3.0)));
+  EXPECT_TRUE(q.push(make_job(3, core::kNoDeadline, 0.25)));
+  for (const QueuedJob& job : q.jobs())
+    EXPECT_TRUE(std::isfinite(job.predicted_sec) && job.predicted_sec >= 0.0);
+  EXPECT_DOUBLE_EQ(q.predicted_backlog_sec(), 0.25);
+  // Clamped jobs key as 0 (shortest): arrival order among themselves.
+  EXPECT_EQ(q.pop_next().seq, 0u);
+  EXPECT_EQ(q.pop_next().seq, 1u);
+  EXPECT_EQ(q.pop_next().seq, 2u);
+  EXPECT_EQ(q.pop_next().seq, 3u);
+}
+
+TEST(RequestQueue, TakeMatchingFillsBatchesInPolicyOrder) {
+  // Regression: batches used to fill in arrival order regardless of the
+  // queue policy, letting a late-deadline co-partition job ride ahead of an
+  // earlier-deadline one.
+  const auto alexnet = models::make_model("alexnet");
+  const core::GraphCostProfile pa(alexnet, bundle());
+  RequestQueue q(QueuePolicy::kEdf, 8);
+  auto with_profile = [&](QueuedJob job, std::size_t p) {
+    job.profile = &pa;
+    job.p = p;
+    return job;
+  };
+  q.push(with_profile(make_job(0, seconds(5), 0.1), 5));
+  q.push(with_profile(make_job(1, seconds(9), 0.1), 5));
+  q.push(with_profile(make_job(2, seconds(1), 0.1), 5));
+  q.push(with_profile(make_job(3, seconds(2), 0.1), 5));
+
+  std::vector<QueuedJob> batch;
+  batch.push_back(q.pop_next());  // seq 2: earliest deadline
+  q.take_matching(&pa, 5, 2, &batch);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[0].seq, 2u);
+  EXPECT_EQ(batch[1].seq, 3u);  // deadline 2 s beats 5 s and 9 s
+  EXPECT_EQ(batch[2].seq, 0u);
+  EXPECT_EQ(q.jobs().front().seq, 1u);
+}
+
+TEST(RequestQueue, TakeMatchingNeverBatchesExpiredJobs) {
+  const auto alexnet = models::make_model("alexnet");
+  const core::GraphCostProfile pa(alexnet, bundle());
+  RequestQueue q(QueuePolicy::kEdf, 8);
+  auto with_profile = [&](QueuedJob job, std::size_t p) {
+    job.profile = &pa;
+    job.p = p;
+    return job;
+  };
+  q.push(with_profile(make_job(0, seconds(5), 0.1), 5));
+  q.push(with_profile(make_job(1, seconds(1), 0.1), 5));  // expired at 2 s
+  q.push(with_profile(make_job(2, core::kNoDeadline, 0.1), 5));
+
+  std::vector<QueuedJob> batch;
+  batch.push_back(q.pop_next());  // seq 1 pops (this test isolates batching)
+  q.take_matching(&pa, 5, 8, &batch, /*expired_cutoff=*/seconds(2));
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[1].seq, 0u);
+  EXPECT_EQ(batch[2].seq, 2u);  // deadline-free jobs are never "expired"
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(RequestQueue, TakeExpiredSweepsPassedDeadlinesInArrivalOrder) {
+  RequestQueue q(QueuePolicy::kFifo, 8);
+  q.push(make_job(0, seconds(3), 0.1));
+  q.push(make_job(1, seconds(1), 0.1));
+  q.push(make_job(2, core::kNoDeadline, 0.1));
+  q.push(make_job(3, seconds(2), 0.1));
+  const auto expired = q.take_expired(seconds(2));
+  ASSERT_EQ(expired.size(), 2u);
+  EXPECT_EQ(expired[0].seq, 1u);
+  EXPECT_EQ(expired[1].seq, 3u);  // deadline == now counts: 0 slack left
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_DOUBLE_EQ(q.predicted_backlog_sec(), 0.2);
 }
 
 // ---------------------------------------------------------- frontend --
@@ -127,7 +241,7 @@ struct PendingRequest {
   explicit PendingRequest(sim::Simulator& sim) : done(sim) {}
 
   core::SuffixRequest request(std::uint64_t session, std::size_t p,
-                              TimeNs deadline = 0) {
+                              TimeNs deadline = core::kNoDeadline) {
     core::SuffixRequest r;
     r.p = p;
     r.done = &done;
@@ -197,6 +311,71 @@ TEST(EdgeServerFrontend, ShedsWhenQueueFullOrOverBudget) {
             core::SubmitStatus::kAccepted);  // empty queue: delay 0 <= 0
   EXPECT_EQ(h2.frontend.submit(q2.request(s2, 5)),
             core::SubmitStatus::kRejected);  // backlog now > 0
+}
+
+TEST(EdgeServerFrontend, WillMissSheddingFailsExpiredJobsTyped) {
+  FrontendParams params;
+  params.shed_will_miss = true;
+  FrontendHarness h(params);
+  const auto s = h.frontend.open_session(h.profile);
+
+  // r1 (no deadline) occupies the GPU; r2's 1 ms deadline passes while it
+  // queues behind the dispatch, so the dispatcher sheds it typed instead of
+  // running a guaranteed miss.
+  PendingRequest r1(h.sim), r2(h.sim);
+  ASSERT_EQ(h.frontend.submit(r1.request(s, 5)),
+            core::SubmitStatus::kAccepted);
+  ASSERT_EQ(h.frontend.submit(r2.request(s, 5, milliseconds(1))),
+            core::SubmitStatus::kAccepted);
+  h.sim.run_until(seconds(30));
+
+  EXPECT_TRUE(r1.done.triggered());
+  EXPECT_EQ(r1.suffix_status, core::SuffixStatus::kServed);
+  EXPECT_TRUE(r2.done.triggered());
+  EXPECT_EQ(r2.suffix_status, core::SuffixStatus::kDeadlineShed);
+  EXPECT_EQ(h.frontend.served(), 1u);
+  EXPECT_EQ(h.frontend.deadline_shed(), 1u);
+  EXPECT_EQ(h.frontend.failed_jobs(), 1u);
+  EXPECT_EQ(h.frontend.queue_depth(), 0u);
+}
+
+TEST(EdgeServerFrontend, WillMissSheddingOffLetsExpiredJobsRun) {
+  // Same timeline with the flag off: the expired job still runs (legacy
+  // behavior) and is served late.
+  FrontendHarness h(FrontendParams{});
+  const auto s = h.frontend.open_session(h.profile);
+  PendingRequest r1(h.sim), r2(h.sim);
+  ASSERT_EQ(h.frontend.submit(r1.request(s, 5)),
+            core::SubmitStatus::kAccepted);
+  ASSERT_EQ(h.frontend.submit(r2.request(s, 5, milliseconds(1))),
+            core::SubmitStatus::kAccepted);
+  h.sim.run_until(seconds(30));
+  EXPECT_EQ(r2.suffix_status, core::SuffixStatus::kServed);
+  EXPECT_EQ(h.frontend.served(), 2u);
+  EXPECT_EQ(h.frontend.deadline_shed(), 0u);
+}
+
+TEST(EdgeServerFrontend, DeadlineAdmissionShedsHopelessSubmissions) {
+  FrontendParams params;
+  params.deadline_admission = true;
+  FrontendHarness h(params);
+  const auto s = h.frontend.open_session(h.profile);
+
+  // An empty queue admits a feasible deadline...
+  PendingRequest r1(h.sim);
+  EXPECT_EQ(h.frontend.submit(r1.request(s, 5, seconds(30))),
+            core::SubmitStatus::kAccepted);
+  // ...but a request whose own deadline cannot cover even the predicted
+  // service is shed at submit, typed as a deadline-admission shed.
+  PendingRequest r2(h.sim);
+  EXPECT_EQ(h.frontend.submit(r2.request(s, 5, 1)),
+            core::SubmitStatus::kRejected);
+  EXPECT_EQ(h.frontend.shed(), 1u);
+  EXPECT_EQ(h.frontend.deadline_shed_admission(), 1u);
+  // Deadline-free requests are never tested against the deadline check.
+  PendingRequest r3(h.sim);
+  EXPECT_EQ(h.frontend.submit(r3.request(s, 5)),
+            core::SubmitStatus::kAccepted);
 }
 
 TEST(EdgeServerFrontend, SessionsTrackKIndependently) {
@@ -533,6 +712,80 @@ TEST(FleetDriver, FaultRunsAreDeterministic) {
   }
   EXPECT_EQ(a.frontend.refused, b.frontend.refused);
   EXPECT_EQ(a.frontend.failed_jobs, b.frontend.failed_jobs);
+}
+
+TEST(FleetDriver, LeastSlackWithSheddingConservesAndShedsTyped) {
+  // The overloaded EDF fleet rerun under least-slack + will-miss shedding:
+  // sheds surface typed, every record still terminates, and the frontend's
+  // conservation equations hold with the new counters.
+  FleetConfig config = overload_fleet(7);
+  config.frontend.policy = QueuePolicy::kLeastSlack;
+  config.frontend.shed_will_miss = true;
+  // No admission at all, a deep queue and a deadline tighter than the
+  // closed-loop backlog: queued jobs keep expiring, so the will-miss
+  // shedder fires throughout the run (deadline admission would prevent
+  // exactly that; it gets its own assertion below).
+  config.frontend.admission_control = false;
+  config.frontend.queue_capacity = 64;
+  for (auto& tenant : config.tenants) tenant.slo_sec = 0.05;
+
+  const auto result = run_fleet(config, bundle());
+  const auto& f = result.frontend;
+  EXPECT_EQ(f.submitted, f.admitted + f.shed + f.refused);
+  EXPECT_EQ(f.admitted + f.migrated_in, f.served + f.failed_jobs +
+                                            f.queue_depth + f.inflight_jobs +
+                                            f.migrated_out);
+  EXPECT_LE(f.deadline_shed + f.fenced_jobs, f.failed_jobs);
+  EXPECT_EQ(f.deadline_shed_admission, 0u);  // admission checks were off
+
+  const auto summary = result.summarize();
+  ASSERT_GT(summary.requests(), 0u);
+  EXPECT_EQ(summary.failed(), 0u);  // sheds degrade locally, never lose work
+  // Dispatcher sheds reach the client taxonomy as kDeadlineShed records
+  // (the summary only folds steady-state records, so it is a lower bound
+  // on the whole-run frontend counter).
+  EXPECT_GT(f.deadline_shed, 0u);
+  EXPECT_GT(summary.deadline_sheds(), 0u);
+  EXPECT_LE(summary.deadline_sheds(), f.deadline_shed);
+  for (const auto* rec : result.steady())
+    if (rec->last_failure == core::FailureKind::kDeadlineShed) {
+      EXPECT_EQ(rec->outcome, core::InferenceOutcome::kDegradedLocal);
+      EXPECT_DOUBLE_EQ(rec->server_sec, 0.0);
+    }
+
+  // Same fleet with deadline admission on top: hopeless submissions are now
+  // refused at the door, counted separately from dispatcher sheds and
+  // bounded by the overall shed tally.
+  config.frontend.deadline_admission = true;
+  const auto gated = run_fleet(config, bundle());
+  EXPECT_GT(gated.frontend.deadline_shed_admission, 0u);
+  EXPECT_LE(gated.frontend.deadline_shed_admission, gated.frontend.shed);
+  EXPECT_EQ(gated.frontend.submitted,
+            gated.frontend.admitted + gated.frontend.shed +
+                gated.frontend.refused);
+}
+
+TEST(FleetDriver, DeadlineShedFleetRunsAreDeterministic) {
+  FleetConfig config = overload_fleet(17);
+  config.frontend.policy = QueuePolicy::kLeastSlack;
+  config.frontend.shed_will_miss = true;
+  const auto a = run_fleet(config, bundle());
+  const auto b = run_fleet(config, bundle());
+  ASSERT_EQ(a.clients.size(), b.clients.size());
+  for (std::size_t i = 0; i < a.clients.size(); ++i) {
+    const auto& ra = a.clients[i].records;
+    const auto& rb = b.clients[i].records;
+    ASSERT_EQ(ra.size(), rb.size());
+    for (std::size_t j = 0; j < ra.size(); ++j) {
+      EXPECT_EQ(ra[j].start, rb[j].start);
+      EXPECT_DOUBLE_EQ(ra[j].total_sec, rb[j].total_sec);
+      EXPECT_EQ(ra[j].outcome, rb[j].outcome);
+      EXPECT_EQ(ra[j].last_failure, rb[j].last_failure);
+    }
+  }
+  EXPECT_EQ(a.frontend.deadline_shed, b.frontend.deadline_shed);
+  EXPECT_EQ(a.frontend.deadline_shed_admission,
+            b.frontend.deadline_shed_admission);
 }
 
 TEST(FleetDriver, LegacyConfigsAreUnaffectedByTheFaultLayer) {
